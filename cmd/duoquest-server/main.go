@@ -1,0 +1,247 @@
+// Command duoquest-server exposes the Duoquest micro-services of the
+// paper's Figure 3 over HTTP: the Enumerator+Verifier behind /synthesize,
+// the Autocomplete Server behind /complete, and schema metadata behind
+// /schema. The bundled MAS database backs all endpoints.
+//
+//	duoquest-server -addr :8080 -db mas
+//
+//	POST /synthesize  {"nlq": "...", "literals": ["Europe", 50],
+//	                   "sketch": {"types": ["text"], "tuples": [["Oxford"]],
+//	                              "sorted": false, "limit": 0}}
+//	GET  /complete?q=SIG&max=10
+//	GET  /schema
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	duoquest "github.com/duoquest/duoquest"
+	"github.com/duoquest/duoquest/internal/dataset"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		budget = flag.Duration("budget", 5*time.Second, "per-request search budget")
+		topk   = flag.Int("k", 10, "max candidates per request")
+	)
+	flag.Parse()
+
+	db := dataset.MAS()
+	syn := duoquest.New(db, duoquest.WithBudget(*budget), duoquest.WithMaxCandidates(*topk))
+	srv := &server{db: db, syn: syn}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", srv.synthesize)
+	mux.HandleFunc("/complete", srv.complete)
+	mux.HandleFunc("/schema", srv.schema)
+
+	log.Printf("duoquest-server listening on %s (database %s)", *addr, db.Name)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	db  *duoquest.Database
+	syn *duoquest.Synthesizer
+}
+
+// sketchJSON is the wire form of a TSQ. Cells: string/number = exact,
+// null = empty, [lo, hi] = numeric range.
+type sketchJSON struct {
+	Types  []string        `json:"types,omitempty"`
+	Tuples [][]interface{} `json:"tuples,omitempty"`
+	Sorted bool            `json:"sorted,omitempty"`
+	Limit  int             `json:"limit,omitempty"`
+}
+
+type synthesizeRequest struct {
+	NLQ      string        `json:"nlq"`
+	Literals []interface{} `json:"literals,omitempty"`
+	Sketch   *sketchJSON   `json:"sketch,omitempty"`
+}
+
+type candidateJSON struct {
+	Rank       int        `json:"rank"`
+	Confidence float64    `json:"confidence"`
+	SQL        string     `json:"sql"`
+	Preview    [][]string `json:"preview,omitempty"`
+}
+
+type synthesizeResponse struct {
+	Candidates []candidateJSON `json:"candidates"`
+	States     int             `json:"states"`
+	ElapsedMS  int64           `json:"elapsed_ms"`
+}
+
+func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req synthesizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.NLQ == "" {
+		http.Error(w, "nlq is required", http.StatusBadRequest)
+		return
+	}
+	input := duoquest.Input{NLQ: req.NLQ}
+	for _, l := range req.Literals {
+		v, err := jsonValue(l)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		input.Literals = append(input.Literals, v)
+	}
+	if req.Sketch != nil {
+		sk, err := jsonSketch(req.Sketch)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		input.Sketch = sk
+	}
+
+	res, err := s.syn.Synthesize(r.Context(), input)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := synthesizeResponse{States: res.States, ElapsedMS: res.Elapsed.Milliseconds()}
+	for _, c := range res.Candidates {
+		cj := candidateJSON{Rank: c.Rank, Confidence: c.Confidence, SQL: c.Query.String()}
+		if preview, err := s.syn.Preview(c.Query, 20); err == nil {
+			for _, row := range preview.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.Display()
+				}
+				cj.Preview = append(cj.Preview, cells)
+			}
+		}
+		resp.Candidates = append(resp.Candidates, cj)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) complete(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	max := 10
+	if m := r.URL.Query().Get("max"); m != "" {
+		fmt.Sscanf(m, "%d", &max)
+	}
+	type hitJSON struct {
+		Value  string `json:"value"`
+		Table  string `json:"table"`
+		Column string `json:"column"`
+	}
+	var hits []hitJSON
+	for _, h := range s.syn.Autocomplete(q, max) {
+		hits = append(hits, hitJSON{Value: h.Value, Table: h.Table, Column: h.Column})
+	}
+	writeJSON(w, hits)
+}
+
+func (s *server) schema(w http.ResponseWriter, _ *http.Request) {
+	type colJSON struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	type tableJSON struct {
+		Name    string    `json:"name"`
+		PK      string    `json:"primary_key,omitempty"`
+		Columns []colJSON `json:"columns"`
+		Rows    int       `json:"rows"`
+	}
+	type schemaJSON struct {
+		Database    string      `json:"database"`
+		Tables      []tableJSON `json:"tables"`
+		ForeignKeys []string    `json:"foreign_keys"`
+	}
+	out := schemaJSON{Database: s.db.Name}
+	for _, t := range s.db.Schema.Tables {
+		tj := tableJSON{Name: t.Name, PK: t.PrimaryKey, Rows: t.NumRows()}
+		for _, c := range t.Columns {
+			tj.Columns = append(tj.Columns, colJSON{Name: c.Name, Type: c.Type.String()})
+		}
+		out.Tables = append(out.Tables, tj)
+	}
+	for _, fk := range s.db.Schema.ForeignKeys {
+		out.ForeignKeys = append(out.ForeignKeys, fk.String())
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// jsonValue converts a JSON literal to a Value.
+func jsonValue(v interface{}) (duoquest.Value, error) {
+	switch x := v.(type) {
+	case string:
+		return duoquest.Text(x), nil
+	case float64:
+		return duoquest.Number(x), nil
+	default:
+		return duoquest.Null(), fmt.Errorf("literal must be string or number, got %T", v)
+	}
+}
+
+// jsonSketch converts the wire form to a TSQ.
+func jsonSketch(sj *sketchJSON) (*duoquest.TSQ, error) {
+	sk := &duoquest.TSQ{Sorted: sj.Sorted, Limit: sj.Limit}
+	for _, t := range sj.Types {
+		switch t {
+		case "text":
+			sk.Types = append(sk.Types, duoquest.TypeText)
+		case "number":
+			sk.Types = append(sk.Types, duoquest.TypeNumber)
+		default:
+			return nil, fmt.Errorf("bad type %q", t)
+		}
+	}
+	for _, row := range sj.Tuples {
+		var tuple duoquest.Tuple
+		for _, cell := range row {
+			switch x := cell.(type) {
+			case nil:
+				tuple = append(tuple, duoquest.Empty())
+			case string:
+				tuple = append(tuple, duoquest.Exact(duoquest.Text(x)))
+			case float64:
+				tuple = append(tuple, duoquest.Exact(duoquest.Number(x)))
+			case []interface{}:
+				if len(x) != 2 {
+					return nil, fmt.Errorf("range cell needs [lo, hi]")
+				}
+				lo, ok1 := x[0].(float64)
+				hi, ok2 := x[1].(float64)
+				if !ok1 || !ok2 {
+					return nil, fmt.Errorf("range bounds must be numbers")
+				}
+				tuple = append(tuple, duoquest.Range(lo, hi))
+			default:
+				return nil, fmt.Errorf("bad cell %T", cell)
+			}
+		}
+		sk.Tuples = append(sk.Tuples, tuple)
+	}
+	if err := sk.Validate(); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	duoquest "github.com/duoquest/duoquest"
+	"github.com/duoquest/duoquest/internal/dataset"
+)
+
+func testServer() *server {
+	db := dataset.MAS()
+	syn := duoquest.New(db,
+		duoquest.WithBudget(2*time.Second),
+		duoquest.WithMaxCandidates(3),
+	)
+	return &server{db: db, syn: syn}
+}
+
+func TestSynthesizeEndpoint(t *testing.T) {
+	srv := testServer()
+	body := `{
+		"nlq": "List the names of organizations in continent Europe",
+		"literals": ["Europe"],
+		"sketch": {"types": ["text"], "tuples": [["University of Oxford"]]}
+	}`
+	req := httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.synthesize(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp synthesizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !strings.Contains(resp.Candidates[0].SQL, "continent = 'Europe'") {
+		t.Errorf("top SQL = %s", resp.Candidates[0].SQL)
+	}
+	if len(resp.Candidates[0].Preview) == 0 {
+		t.Error("preview missing")
+	}
+}
+
+func TestSynthesizeEndpointErrors(t *testing.T) {
+	srv := testServer()
+	cases := []struct {
+		method string
+		body   string
+		want   int
+	}{
+		{http.MethodGet, "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "not json", http.StatusBadRequest},
+		{http.MethodPost, `{}`, http.StatusBadRequest},
+		{http.MethodPost, `{"nlq": "x", "literals": [true]}`, http.StatusBadRequest},
+		{http.MethodPost, `{"nlq": "x", "sketch": {"types": ["blob"]}}`, http.StatusBadRequest},
+		{http.MethodPost, `{"nlq": "x", "sketch": {"tuples": [[["a", "b"]]]}}`, http.StatusBadRequest},
+		{http.MethodPost, `{"nlq": "x", "sketch": {"limit": -3}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, "/synthesize", strings.NewReader(c.body))
+		w := httptest.NewRecorder()
+		srv.synthesize(w, req)
+		if w.Code != c.want {
+			t.Errorf("%s %q: status = %d, want %d", c.method, c.body, w.Code, c.want)
+		}
+	}
+}
+
+func TestCompleteEndpoint(t *testing.T) {
+	srv := testServer()
+	req := httptest.NewRequest(http.MethodGet, "/complete?q=SIG&max=3", nil)
+	w := httptest.NewRecorder()
+	srv.complete(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var hits []map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 || hits[0]["value"] != "SIGMOD" {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv := testServer()
+	req := httptest.NewRequest(http.MethodGet, "/schema", nil)
+	w := httptest.NewRecorder()
+	srv.schema(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var out struct {
+		Database    string   `json:"database"`
+		Tables      []any    `json:"tables"`
+		ForeignKeys []string `json:"foreign_keys"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Database != "mas" || len(out.Tables) != 15 || len(out.ForeignKeys) != 19 {
+		t.Errorf("schema = %s, %d tables, %d fks", out.Database, len(out.Tables), len(out.ForeignKeys))
+	}
+}
+
+func TestJSONSketchRange(t *testing.T) {
+	sk, err := jsonSketch(&sketchJSON{
+		Types:  []string{"text", "number"},
+		Tuples: [][]interface{}{{"Gravity", []interface{}{2010.0, 2017.0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk.Tuples) != 1 || sk.Tuples[0][1].Kind != 2 { // CellRange
+		t.Errorf("sketch = %v", sk)
+	}
+	if _, err := jsonSketch(&sketchJSON{Tuples: [][]interface{}{{[]interface{}{1.0}}}}); err == nil {
+		t.Error("short range should fail")
+	}
+	if _, err := jsonSketch(&sketchJSON{Tuples: [][]interface{}{{[]interface{}{"a", "b"}}}}); err == nil {
+		t.Error("non-numeric range should fail")
+	}
+}

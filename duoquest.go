@@ -1,0 +1,256 @@
+// Package duoquest is a Go implementation of Duoquest, the
+// dual-specification SQL query synthesis system of Baik, Jin, Cafarella and
+// Jagadish (SIGMOD 2020). Duoquest consumes a natural language query (NLQ)
+// together with an optional PBE-like table sketch query (TSQ) and returns a
+// ranked list of candidate SQL queries, every one of which is guaranteed to
+// satisfy the sketch — the paper's soundness property.
+//
+// The synthesis engine is guided partial query enumeration (GPQE): a
+// best-first search over partial queries ordered by guidance-model
+// confidence, pruned by ascending-cost cascading verification against the
+// TSQ. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+//
+// Quick start:
+//
+//	db := duoquest.NewDatabase("movies", schema)
+//	syn := duoquest.New(db)
+//	res, _ := syn.Synthesize(ctx, duoquest.Input{
+//	    NLQ:      "movies before 1995",
+//	    Literals: []duoquest.Value{duoquest.Number(1995)},
+//	    Sketch:   &duoquest.TSQ{Tuples: []duoquest.Tuple{{duoquest.Exact(duoquest.Text("Forrest Gump"))}}},
+//	})
+//	for _, c := range res.Candidates {
+//	    fmt.Println(c.Rank, c.Query)
+//	}
+package duoquest
+
+import (
+	"context"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/autocomplete"
+	"github.com/duoquest/duoquest/internal/enumerate"
+	"github.com/duoquest/duoquest/internal/guidance"
+	"github.com/duoquest/duoquest/internal/semrules"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
+	"github.com/duoquest/duoquest/internal/tsq"
+	"github.com/duoquest/duoquest/internal/verify"
+)
+
+// Re-exported core types. These aliases form the public vocabulary of the
+// library; the implementations live in internal packages.
+type (
+	// Database is an in-memory relational database.
+	Database = storage.Database
+	// Schema is a catalog of tables and FK-PK constraints.
+	Schema = storage.Schema
+	// Table is one relational table.
+	Table = storage.Table
+	// Column is a typed table column.
+	Column = storage.Column
+	// Value is a SQL cell value (text, number, or NULL).
+	Value = sqlir.Value
+	// Type is a column data type.
+	Type = sqlir.Type
+	// Query is a (possibly partial) SPJA query.
+	Query = sqlir.Query
+	// TSQ is a table sketch query (Definition 2.3).
+	TSQ = tsq.TSQ
+	// Tuple is one TSQ example tuple.
+	Tuple = tsq.Tuple
+	// Cell is one TSQ example cell (exact, empty, or range).
+	Cell = tsq.Cell
+	// Candidate is one ranked synthesis result.
+	Candidate = enumerate.Candidate
+	// Result summarises a synthesis run.
+	Result = enumerate.Result
+	// ResultSet is a materialized query result.
+	ResultSet = sqlexec.Result
+	// GuidanceModel is the enumeration guidance interface (§3.3.5): any
+	// model producing per-module confidence distributions can be plugged in.
+	GuidanceModel = guidance.Model
+	// Hit is one autocomplete suggestion.
+	Hit = autocomplete.Hit
+	// RuleSet is a semantic pruning rule set (Table 4).
+	RuleSet = semrules.RuleSet
+)
+
+// Column types.
+const (
+	TypeText   = sqlir.TypeText
+	TypeNumber = sqlir.TypeNumber
+)
+
+// Mode selects the enumeration variant (ablations of §5.4.3).
+type Mode = enumerate.Mode
+
+// Enumeration modes.
+const (
+	ModeGPQE    = enumerate.ModeGPQE
+	ModeNoPQ    = enumerate.ModeNoPQ
+	ModeNoGuide = enumerate.ModeNoGuide
+)
+
+// NewDatabase wraps a schema as a database.
+func NewDatabase(name string, schema *Schema) *Database {
+	return storage.NewDatabase(name, schema)
+}
+
+// NewSchema builds a schema over tables.
+func NewSchema(tables ...*Table) *Schema { return storage.NewSchema(tables...) }
+
+// NewTable creates an empty table with the given primary key and columns.
+func NewTable(name, pk string, cols ...Column) *Table {
+	return storage.NewTable(name, pk, cols...)
+}
+
+// Text returns a text value.
+func Text(s string) Value { return sqlir.NewText(s) }
+
+// Number returns a numeric value.
+func Number(f float64) Value { return sqlir.NewNumber(f) }
+
+// Null returns the NULL value.
+func Null() Value { return sqlir.Null() }
+
+// Exact returns a TSQ cell matching exactly v.
+func Exact(v Value) Cell { return tsq.Exact(v) }
+
+// Empty returns a TSQ cell matching any value.
+func Empty() Cell { return tsq.Empty() }
+
+// Range returns a TSQ cell matching numbers in [lo, hi].
+func Range(lo, hi float64) Cell { return tsq.Range(lo, hi) }
+
+// ParseSQL parses a SQL statement in the supported subset against a schema.
+func ParseSQL(schema *Schema, sql string) (*Query, error) {
+	return sqlparse.Parse(schema, sql)
+}
+
+// Execute runs a complete query.
+func Execute(db *Database, q *Query) (*ResultSet, error) {
+	return sqlexec.Execute(db, q)
+}
+
+// DefaultRules returns the Table 4 semantic pruning rules.
+func DefaultRules() *RuleSet { return semrules.Default() }
+
+// Input is one dual-specification synthesis request: the NLQ with its
+// tagged literal values, plus an optional table sketch query.
+type Input struct {
+	// NLQ is the natural language query.
+	NLQ string
+	// Literals are the text and numeric literal values tagged in the NLQ
+	// via the autocomplete interface (the paper's L).
+	Literals []Value
+	// Sketch is the optional TSQ; nil synthesizes from the NLQ alone.
+	Sketch *TSQ
+}
+
+// config collects synthesizer options.
+type config struct {
+	model         GuidanceModel
+	rules         *RuleSet
+	mode          Mode
+	budget        time.Duration
+	maxCandidates int
+	maxStates     int
+}
+
+// Option configures a Synthesizer.
+type Option func(*config)
+
+// WithModel replaces the guidance model (default: the lexical model).
+func WithModel(m GuidanceModel) Option { return func(c *config) { c.model = m } }
+
+// WithRules replaces the semantic rule set; nil disables semantic pruning.
+func WithRules(r *RuleSet) Option { return func(c *config) { c.rules = r } }
+
+// WithMode selects the enumeration variant (default ModeGPQE).
+func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithBudget bounds the wall-clock search time per request (default 2s) —
+// the front-end's pre-specified timeout (§4).
+func WithBudget(d time.Duration) Option { return func(c *config) { c.budget = d } }
+
+// WithMaxCandidates stops after emitting n candidates (default 50).
+func WithMaxCandidates(n int) Option { return func(c *config) { c.maxCandidates = n } }
+
+// WithMaxStates caps the number of explored search states.
+func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// Synthesizer is the Duoquest engine bound to one database. It is safe to
+// reuse across requests (each request builds its own verifier); it is not
+// safe for concurrent use.
+type Synthesizer struct {
+	db  *Database
+	cfg config
+	idx *autocomplete.Index
+}
+
+// New builds a Synthesizer for a database.
+func New(db *Database, opts ...Option) *Synthesizer {
+	cfg := config{
+		model:         guidance.NewLexicalModel(),
+		rules:         semrules.Default(),
+		mode:          enumerate.ModeGPQE,
+		budget:        2 * time.Second,
+		maxCandidates: 50,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Synthesizer{db: db, cfg: cfg}
+}
+
+// Synthesize runs dual-specification synthesis and returns the ranked
+// candidates.
+func (s *Synthesizer) Synthesize(ctx context.Context, in Input) (*Result, error) {
+	return s.SynthesizeStream(ctx, in, nil)
+}
+
+// SynthesizeStream runs synthesis, invoking emit for every candidate as it
+// is found (the front-end's progressive display, §4). emit returning false
+// stops the search.
+func (s *Synthesizer) SynthesizeStream(ctx context.Context, in Input, emit func(Candidate) bool) (*Result, error) {
+	if in.Sketch != nil {
+		if err := in.Sketch.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	v := verify.New(s.db, s.cfg.rules, in.Sketch, in.Literals)
+	e := enumerate.New(s.db, s.cfg.model, v, enumerate.Options{
+		Mode:          s.cfg.mode,
+		MaxCandidates: s.cfg.maxCandidates,
+		MaxStates:     s.cfg.maxStates,
+		Budget:        s.cfg.budget,
+	})
+	return e.Enumerate(ctx, in.NLQ, in.Literals, emit)
+}
+
+// Autocomplete suggests literal values for a prefix, backed by the master
+// inverted column index over all text columns (§4). The index is built
+// lazily on first use.
+func (s *Synthesizer) Autocomplete(prefix string, max int) []Hit {
+	if s.idx == nil {
+		s.idx = autocomplete.Build(s.db)
+	}
+	return s.idx.Complete(prefix, max)
+}
+
+// Preview executes a candidate query with a row cap, powering the
+// front-end's "Query Preview" button (§4).
+func (s *Synthesizer) Preview(q *Query, maxRows int) (*ResultSet, error) {
+	res, err := sqlexec.Execute(s.db, q)
+	if err != nil {
+		return nil, err
+	}
+	if maxRows > 0 && len(res.Rows) > maxRows {
+		res.Rows = res.Rows[:maxRows]
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package autocomplete
+
+import (
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+func text(s string) sqlir.Value { return sqlir.NewText(s) }
+func num(f float64) sqlir.Value { return sqlir.NewNumber(f) }
+
+func testDB() *storage.Database {
+	actor := storage.NewTable("actor", "aid",
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+	)
+	movie := storage.NewTable("movie", "mid",
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "title", Type: sqlir.TypeText},
+		storage.Column{Name: "year", Type: sqlir.TypeNumber},
+	)
+	s := storage.NewSchema(actor, movie)
+	actor.MustInsert(num(1), text("Tom Hanks"))
+	actor.MustInsert(num(2), text("Sandra Bullock"))
+	actor.MustInsert(num(3), text("Tom Hardy"))
+	movie.MustInsert(num(1), text("Forrest Gump"), num(1994))
+	movie.MustInsert(num(2), text("Gravity"), num(2013))
+	movie.MustInsert(num(3), text("Tomorrowland"), num(2015))
+	return storage.NewDatabase("t", s)
+}
+
+func TestBuildSize(t *testing.T) {
+	idx := Build(testDB())
+	if idx.Size() != 6 {
+		t.Errorf("size = %d, want 6", idx.Size())
+	}
+}
+
+func TestCompletePrefix(t *testing.T) {
+	idx := Build(testDB())
+	hits := idx.Complete("tom", 10)
+	// Whole-value prefixes first: Tom Hanks, Tom Hardy, Tomorrowland; then
+	// token matches (none new).
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Value != "Tom Hanks" || hits[1].Value != "Tom Hardy" || hits[2].Value != "Tomorrowland" {
+		t.Errorf("hits = %v", hits)
+	}
+	if hits[0].Table != "actor" || hits[0].Column != "name" {
+		t.Errorf("hit metadata = %+v", hits[0])
+	}
+}
+
+func TestCompleteTokenMatch(t *testing.T) {
+	idx := Build(testDB())
+	// "gump" is not a value prefix but is a token of "Forrest Gump".
+	hits := idx.Complete("gump", 10)
+	if len(hits) != 1 || hits[0].Value != "Forrest Gump" {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestCompleteCaseInsensitive(t *testing.T) {
+	idx := Build(testDB())
+	if len(idx.Complete("FORREST", 10)) != 1 {
+		t.Error("case-insensitive prefix failed")
+	}
+}
+
+func TestCompleteMax(t *testing.T) {
+	idx := Build(testDB())
+	if hits := idx.Complete("tom", 2); len(hits) != 2 {
+		t.Errorf("max ignored: %v", hits)
+	}
+	if hits := idx.Complete("tom", 0); len(hits) != 3 {
+		t.Errorf("default max: %v", hits)
+	}
+}
+
+func TestCompleteEmptyAndMiss(t *testing.T) {
+	idx := Build(testDB())
+	if idx.Complete("", 10) != nil {
+		t.Error("empty query should return nil")
+	}
+	if idx.Complete("   ", 10) != nil {
+		t.Error("blank query should return nil")
+	}
+	if len(idx.Complete("zzz", 10)) != 0 {
+		t.Error("miss should be empty")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	idx := Build(testDB())
+	hits := idx.Lookup("forrest gump")
+	if len(hits) != 1 || hits[0].Table != "movie" {
+		t.Errorf("lookup = %v", hits)
+	}
+	if len(idx.Lookup("nobody")) != 0 {
+		t.Error("missing value should not resolve")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Build(testDB()).Complete("tom", 10)
+	b := Build(testDB()).Complete("tom", 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	s := storage.NewSchema(storage.NewTable("t", "", storage.Column{Name: "x", Type: sqlir.TypeText}))
+	idx := Build(storage.NewDatabase("empty", s))
+	if idx.Size() != 0 {
+		t.Error("empty database should index nothing")
+	}
+	if len(idx.Complete("a", 5)) != 0 {
+		t.Error("empty index should return nothing")
+	}
+}

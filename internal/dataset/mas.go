@@ -1,0 +1,376 @@
+// Package dataset provides the benchmark substrates of the evaluation
+// (§5.1, §5.4): a scaled-down synthetic Microsoft Academic Search (MAS)
+// database with the Appendix A user-study tasks, a seeded cross-domain
+// Spider-like task generator, and the TSQ synthesiser of §5.4.1/§5.4.4.
+//
+// The real MAS and Spider data cannot be shipped; DESIGN.md §3 documents how
+// these substitutes preserve the evaluation's behaviour. MAS keeps the
+// paper's 15-table / 19-FK shape (Table 5) with literals re-scaled to the
+// synthetic data sizes.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+func text(s string) sqlir.Value { return sqlir.NewText(s) }
+func num(f float64) sqlir.Value { return sqlir.NewNumber(f) }
+
+// MAS builds the synthetic Microsoft Academic Search database: 15 tables and
+// 19 FK-PK relationships, deterministically populated so every Appendix A
+// task has a non-empty, non-trivial answer.
+func MAS() *storage.Database {
+	author := storage.NewTable("author", "aid",
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "homepage", Type: sqlir.TypeText},
+		storage.Column{Name: "oid", Type: sqlir.TypeNumber},
+	)
+	publication := storage.NewTable("publication", "pid",
+		storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "title", Type: sqlir.TypeText},
+		storage.Column{Name: "year", Type: sqlir.TypeNumber},
+		storage.Column{Name: "citation_num", Type: sqlir.TypeNumber},
+		storage.Column{Name: "cid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "jid", Type: sqlir.TypeNumber},
+	)
+	conference := storage.NewTable("conference", "cid",
+		storage.Column{Name: "cid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "homepage", Type: sqlir.TypeText},
+	)
+	journal := storage.NewTable("journal", "jid",
+		storage.Column{Name: "jid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "homepage", Type: sqlir.TypeText},
+	)
+	keyword := storage.NewTable("keyword", "kid",
+		storage.Column{Name: "kid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "keyword", Type: sqlir.TypeText},
+	)
+	organization := storage.NewTable("organization", "oid",
+		storage.Column{Name: "oid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "continent", Type: sqlir.TypeText},
+		storage.Column{Name: "homepage", Type: sqlir.TypeText},
+	)
+	domain := storage.NewTable("domain", "did",
+		storage.Column{Name: "did", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+	)
+	writes := storage.NewTable("writes", "wid",
+		storage.Column{Name: "wid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+	)
+	pubKeyword := storage.NewTable("publication_keyword", "pkid",
+		storage.Column{Name: "pkid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "kid", Type: sqlir.TypeNumber},
+	)
+	domainAuthor := storage.NewTable("domain_author", "daid",
+		storage.Column{Name: "daid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "did", Type: sqlir.TypeNumber},
+	)
+	domainConference := storage.NewTable("domain_conference", "dcid",
+		storage.Column{Name: "dcid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "cid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "did", Type: sqlir.TypeNumber},
+	)
+	domainJournal := storage.NewTable("domain_journal", "djid",
+		storage.Column{Name: "djid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "jid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "did", Type: sqlir.TypeNumber},
+	)
+	domainKeyword := storage.NewTable("domain_keyword", "dkid",
+		storage.Column{Name: "dkid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "kid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "did", Type: sqlir.TypeNumber},
+	)
+	domainPublication := storage.NewTable("domain_publication", "dpid",
+		storage.Column{Name: "dpid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "did", Type: sqlir.TypeNumber},
+	)
+	cite := storage.NewTable("cite", "ctid",
+		storage.Column{Name: "ctid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "citing", Type: sqlir.TypeNumber},
+		storage.Column{Name: "cited", Type: sqlir.TypeNumber},
+	)
+
+	s := storage.NewSchema(author, publication, conference, journal, keyword,
+		organization, domain, writes, pubKeyword, domainAuthor,
+		domainConference, domainJournal, domainKeyword, domainPublication, cite)
+	s.AddForeignKey("author", "oid", "organization", "oid")
+	s.AddForeignKey("publication", "cid", "conference", "cid")
+	s.AddForeignKey("publication", "jid", "journal", "jid")
+	s.AddForeignKey("writes", "aid", "author", "aid")
+	s.AddForeignKey("writes", "pid", "publication", "pid")
+	s.AddForeignKey("publication_keyword", "pid", "publication", "pid")
+	s.AddForeignKey("publication_keyword", "kid", "keyword", "kid")
+	s.AddForeignKey("domain_author", "aid", "author", "aid")
+	s.AddForeignKey("domain_author", "did", "domain", "did")
+	s.AddForeignKey("domain_conference", "cid", "conference", "cid")
+	s.AddForeignKey("domain_conference", "did", "domain", "did")
+	s.AddForeignKey("domain_journal", "jid", "journal", "jid")
+	s.AddForeignKey("domain_journal", "did", "domain", "did")
+	s.AddForeignKey("domain_keyword", "kid", "keyword", "kid")
+	s.AddForeignKey("domain_keyword", "did", "domain", "did")
+	s.AddForeignKey("domain_publication", "pid", "publication", "pid")
+	s.AddForeignKey("domain_publication", "did", "domain", "did")
+	s.AddForeignKey("cite", "citing", "publication", "pid")
+	s.AddForeignKey("cite", "cited", "publication", "pid")
+
+	populateMAS(s)
+	return storage.NewDatabase("mas", s)
+}
+
+// masOrgs: name, continent, author count. Michigan and Oxford exceed the B3
+// threshold (more than 8 authors).
+var masOrgs = []struct {
+	name      string
+	continent string
+	authors   int
+}{
+	{"University of Michigan", "North America", 12},
+	{"University of Oxford", "Europe", 10},
+	{"Stanford University", "North America", 7},
+	{"ETH Zurich", "Europe", 6},
+	{"Tsinghua University", "Asia", 8},
+	{"MIT", "North America", 5},
+	{"University of Tokyo", "Asia", 4},
+	{"TU Munich", "Europe", 4},
+	{"Carnegie Mellon University", "North America", 4},
+	{"National University of Singapore", "Asia", 3},
+	{"EPFL", "Europe", 3},
+	{"University of Washington", "North America", 3},
+}
+
+var masConfs = []string{"SIGMOD", "VLDB", "ICDE", "KDD", "CHI", "SOSP"}
+
+// masJournals: TODS and VLDBJ exceed the A4 threshold (more than 50 pubs).
+var masJournals = []struct {
+	name string
+	pubs int
+}{
+	{"TODS", 60}, {"VLDB Journal", 55}, {"TKDE", 40}, {"CACM", 28}, {"JACM", 18},
+}
+
+var masDomains = []string{"Databases", "Machine Learning", "Systems", "HCI", "Theory"}
+
+var masKeywords = []string{
+	"query processing", "transactions", "indexing", "neural networks",
+	"deep learning", "distributed systems", "operating systems",
+	"user interfaces", "complexity", "optimization", "crowdsourcing",
+	"data integration", "streaming", "privacy", "benchmarking",
+	"graph analytics", "recommendation", "visualization", "caching",
+	"concurrency control",
+}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "David", "Emma", "Frank", "Grace", "Henry",
+	"Iris", "Jack", "Karen", "Liam", "Mona", "Noah", "Olga", "Peter",
+	"Quinn", "Rosa", "Sam", "Tina", "Uma", "Victor", "Wendy", "Xavier",
+	"Yara", "Zane",
+}
+
+var lastNames = []string{
+	"Johnson", "Smith", "Chen", "Garcia", "Mueller", "Tanaka", "Kumar",
+	"Okafor", "Rossi", "Novak", "Dubois", "Larsen", "Petrov", "Silva",
+	"Nguyen", "Kim",
+}
+
+// populateMAS fills the schema deterministically (seed 7).
+func populateMAS(s *storage.Schema) {
+	r := rand.New(rand.NewSource(7))
+
+	org := s.Table("organization")
+	for i, o := range masOrgs {
+		org.MustInsert(num(float64(i+1)), text(o.name), text(o.continent),
+			text(fmt.Sprintf("http://%s.example.edu", slug(o.name))))
+	}
+
+	author := s.Table("author")
+	aid := 0
+	var authorNames []string
+	for oi, o := range masOrgs {
+		for k := 0; k < o.authors; k++ {
+			aid++
+			var name string
+			if aid == 1 {
+				name = "Alice Johnson" // the A3/B1/B4/D1 focal author
+			} else {
+				name = fmt.Sprintf("%s %s",
+					firstNames[(aid*3)%len(firstNames)],
+					lastNames[(aid*5)%len(lastNames)])
+				// De-duplicate by suffixing a middle initial.
+				for contains(authorNames, name) {
+					name = fmt.Sprintf("%s %c. %s",
+						firstNames[(aid*3)%len(firstNames)],
+						'A'+byte(len(authorNames)%26),
+						lastNames[(aid*5)%len(lastNames)])
+				}
+			}
+			authorNames = append(authorNames, name)
+			author.MustInsert(num(float64(aid)), text(name),
+				text(fmt.Sprintf("http://people.example.org/a%d", aid)),
+				num(float64(oi+1)))
+		}
+	}
+
+	conference := s.Table("conference")
+	for i, c := range masConfs {
+		conference.MustInsert(num(float64(i+1)), text(c),
+			text(fmt.Sprintf("http://%s.example.org", slug(c))))
+	}
+	journal := s.Table("journal")
+	for i, j := range masJournals {
+		journal.MustInsert(num(float64(i+1)), text(j.name),
+			text(fmt.Sprintf("http://%s.example.org", slug(j.name))))
+	}
+	keyword := s.Table("keyword")
+	for i, k := range masKeywords {
+		keyword.MustInsert(num(float64(i+1)), text(k))
+	}
+	domain := s.Table("domain")
+	for i, d := range masDomains {
+		domain.MustInsert(num(float64(i+1)), text(d))
+	}
+
+	pub := s.Table("publication")
+	writes := s.Table("writes")
+	pubKeyword := s.Table("publication_keyword")
+	pid, wid, pkid := 0, 0, 0
+	addPub := func(title string, year, cid, jid int, authors []int) {
+		pid++
+		pub.MustInsert(num(float64(pid)), text(title), num(float64(year)),
+			num(float64(r.Intn(400))), numOrNull(cid), numOrNull(jid))
+		for _, a := range authors {
+			wid++
+			writes.MustInsert(num(float64(wid)), num(float64(a)), num(float64(pid)))
+		}
+		// 1-2 keywords per publication.
+		nk := 1 + r.Intn(2)
+		for k := 0; k < nk; k++ {
+			pkid++
+			pubKeyword.MustInsert(num(float64(pkid)), num(float64(pid)),
+				num(float64(1+r.Intn(len(masKeywords)))))
+		}
+	}
+
+	nAuthors := aid
+	randAuthors := func(n int) []int {
+		seen := map[int]bool{}
+		var out []int
+		for len(out) < n {
+			a := 1 + r.Intn(nAuthors)
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+
+	// Alice Johnson (aid 1): 9 SIGMOD papers (C3 >5 and D3 >8 thresholds)
+	// plus 5 others = 14 publications (B4 threshold: more than 10).
+	for k := 0; k < 9; k++ {
+		addPub(fmt.Sprintf("Adaptive Query Processing %d", k+1), 2010+k, 1, 0, append([]int{1}, randAuthors(1)...))
+	}
+	for k := 0; k < 5; k++ {
+		addPub(fmt.Sprintf("Data Systems Perspective %d", k+1), 2005+k, 2+k%3, 0, []int{1})
+	}
+	// Bob (aid 2, Michigan): 6 SIGMOD papers (passes C3, fails D3) and 6
+	// more elsewhere = 12 publications (passes B4).
+	for k := 0; k < 6; k++ {
+		addPub(fmt.Sprintf("Transactional Memory Study %d", k+1), 2012+k, 1, 0, append([]int{2}, randAuthors(1)...))
+	}
+	for k := 0; k < 6; k++ {
+		addPub(fmt.Sprintf("Storage Engines Revisited %d", k+1), 2008+k, 2+k%4, 0, []int{2})
+	}
+	// Journal volume: TODS 60, VLDBJ 55, TKDE 40, CACM 28, JACM 18.
+	for ji, j := range masJournals {
+		for k := 0; k < j.pubs; k++ {
+			addPub(fmt.Sprintf("%s Article %d", j.name, k+1), 1995+r.Intn(25), 0, ji+1, randAuthors(1+r.Intn(2)))
+		}
+	}
+	// Conference volume: ~20 extra papers per conference.
+	for ci, c := range masConfs {
+		for k := 0; k < 20; k++ {
+			addPub(fmt.Sprintf("%s Paper %d", c, k+1), 1998+r.Intn(22), ci+1, 0, randAuthors(1+r.Intn(2)))
+		}
+	}
+
+	// Citations: 300 random edges.
+	cite := s.Table("cite")
+	for i := 0; i < 300; i++ {
+		a, b := 1+r.Intn(pid), 1+r.Intn(pid)
+		if a == b {
+			continue
+		}
+		cite.MustInsert(num(float64(i+1)), num(float64(a)), num(float64(b)))
+	}
+
+	// Domain links.
+	domainAuthor := s.Table("domain_author")
+	for a := 1; a <= nAuthors; a++ {
+		d := 1 + (a % len(masDomains))
+		if a <= 12 {
+			d = 1 // Michigan authors work in Databases (C2 answer set)
+		}
+		domainAuthor.MustInsert(num(float64(a)), num(float64(a)), num(float64(d)))
+	}
+	domainConference := s.Table("domain_conference")
+	dcLinks := [][2]int{{1, 1}, {2, 1}, {3, 1}, {4, 2}, {5, 4}, {6, 3}}
+	for i, l := range dcLinks {
+		domainConference.MustInsert(num(float64(i+1)), num(float64(l[0])), num(float64(l[1])))
+	}
+	domainJournal := s.Table("domain_journal")
+	djLinks := [][2]int{{1, 1}, {2, 1}, {3, 2}, {4, 3}, {5, 5}}
+	for i, l := range djLinks {
+		domainJournal.MustInsert(num(float64(i+1)), num(float64(l[0])), num(float64(l[1])))
+	}
+	domainKeyword := s.Table("domain_keyword")
+	for k := 1; k <= len(masKeywords); k++ {
+		domainKeyword.MustInsert(num(float64(k)), num(float64(k)), num(float64(1+(k%len(masDomains)))))
+	}
+	domainPublication := s.Table("domain_publication")
+	for p := 1; p <= pid; p += 2 {
+		domainPublication.MustInsert(num(float64((p+1)/2)), num(float64(p)), num(float64(1+(p%len(masDomains)))))
+	}
+}
+
+func numOrNull(n int) sqlir.Value {
+	if n == 0 {
+		return sqlir.Null()
+	}
+	return num(float64(n))
+}
+
+func slug(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z':
+			out = append(out, c)
+		case 'A' <= c && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		}
+	}
+	return string(out)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,528 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+// The Spider-like generator builds cross-domain databases from declarative
+// domain specs: tables, typed columns with value generators, FK-PK edges,
+// and a natural-language phrase for every column (used by the NLQ
+// templates). Each database instance is seeded, so dev and test sets get
+// distinct data and literals from the same domain shapes.
+
+// valueGen produces the i-th row's value for a column.
+type valueGen func(r *rand.Rand, i int) sqlir.Value
+
+// colSpec declares a column.
+type colSpec struct {
+	name   string
+	typ    sqlir.Type
+	phrase string // NL phrase ("release year")
+	gen    valueGen
+}
+
+// tableSpec declares a table. rows may vary by variant via the seeded rand.
+type tableSpec struct {
+	name     string
+	entity   string // singular noun ("movie")
+	entities string // plural noun ("movies")
+	pk       string
+	cols     []colSpec
+	minRows  int
+	maxRows  int
+}
+
+// fkSpec declares a foreign key.
+type fkSpec struct{ table, col, refTable, refCol string }
+
+// domainSpec declares a domain.
+type domainSpec struct {
+	name   string
+	tables []tableSpec
+	fks    []fkSpec
+}
+
+// --- generic value generators -------------------------------------------
+
+func seq() valueGen {
+	return func(_ *rand.Rand, i int) sqlir.Value { return num(float64(i + 1)) }
+}
+
+func fromList(items []string) valueGen {
+	return func(r *rand.Rand, i int) sqlir.Value {
+		if i < len(items) {
+			return text(items[i])
+		}
+		return text(fmt.Sprintf("%s %d", items[r.Intn(len(items))], i+1))
+	}
+}
+
+func composite(first, second []string) valueGen {
+	return func(r *rand.Rand, i int) sqlir.Value {
+		return text(first[r.Intn(len(first))] + " " + second[r.Intn(len(second))])
+	}
+}
+
+func intRange(lo, hi int) valueGen {
+	return func(r *rand.Rand, _ int) sqlir.Value {
+		return num(float64(lo + r.Intn(hi-lo+1)))
+	}
+}
+
+func choice(items ...string) valueGen {
+	return func(r *rand.Rand, _ int) sqlir.Value {
+		return text(items[r.Intn(len(items))])
+	}
+}
+
+// fk generates a reference into 1..refRows; the builder rebinds refRows.
+type fkGen struct{ refTable string }
+
+// --- shared vocabulary ----------------------------------------------------
+
+var peopleFirst = []string{
+	"Ava", "Ben", "Clara", "Dan", "Elena", "Felix", "Gina", "Hugo", "Ines",
+	"Jon", "Kara", "Leo", "Mia", "Nils", "Oona", "Paul", "Rita", "Sven",
+	"Tara", "Ugo", "Vera", "Walt", "Xena", "Yuri", "Zoe",
+}
+
+var peopleLast = []string{
+	"Adler", "Brooks", "Costa", "Diaz", "Ekman", "Fischer", "Grant", "Haas",
+	"Iyer", "Jensen", "Katz", "Lindt", "Moreau", "Nolan", "Ortiz", "Park",
+	"Quist", "Roth", "Sato", "Torres",
+}
+
+var cityNames = []string{
+	"Springfield", "Riverton", "Lakewood", "Fairview", "Georgetown",
+	"Ashland", "Milton", "Clayton", "Dover", "Bristol", "Salem", "Oxford",
+	"Burlington", "Clinton", "Dayton", "Florence", "Greenville", "Hudson",
+	"Jackson", "Kingston",
+}
+
+var countryNames = []string{
+	"Atlantis", "Borduria", "Carpania", "Drusselstein", "Elbonia",
+	"Freedonia", "Genovia", "Krakozhia", "Latveria", "Molvania",
+	"Novistrana", "Petoria", "Ruritania", "Sylvania", "Zubrowka",
+}
+
+// --- domain specifications ------------------------------------------------
+
+// spiderDomains lists every generated domain. Shapes follow common Spider
+// databases: 3–5 tables, FK chains and bridge tables, a mix of text and
+// numeric attributes.
+var spiderDomains = []domainSpec{
+	{
+		name: "concert",
+		tables: []tableSpec{
+			{name: "stadium", entity: "stadium", entities: "stadiums", pk: "stadium_id",
+				cols: []colSpec{
+					{"stadium_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"Arena", "Park", "Dome", "Field"})},
+					{"location", sqlir.TypeText, "location", fromList(cityNames)},
+					{"capacity", sqlir.TypeNumber, "capacity", intRange(5000, 90000)},
+				},
+				minRows: 9, maxRows: 15},
+			{name: "singer", entity: "singer", entities: "singers", pk: "singer_id",
+				cols: []colSpec{
+					{"singer_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"country", sqlir.TypeText, "country", fromList(countryNames)},
+					{"age", sqlir.TypeNumber, "age", intRange(18, 70)},
+				},
+				minRows: 12, maxRows: 20},
+			{name: "concert", entity: "concert", entities: "concerts", pk: "concert_id",
+				cols: []colSpec{
+					{"concert_id", sqlir.TypeNumber, "id", seq()},
+					{"concert_name", sqlir.TypeText, "name", composite([]string{"Summer", "Winter", "Spring", "Harvest", "Midnight"}, []string{"Fest", "Jam", "Night", "Tour", "Gala"})},
+					{"theme", sqlir.TypeText, "theme", choice("Rock", "Pop", "Jazz", "Folk", "Classical")},
+					{"stadium_id", sqlir.TypeNumber, "stadium", nil},
+					{"year", sqlir.TypeNumber, "year", intRange(2005, 2023)},
+					{"attendance", sqlir.TypeNumber, "attendance", intRange(1000, 80000)},
+				},
+				minRows: 25, maxRows: 45},
+			{name: "singer_in_concert", entity: "appearance", entities: "appearances", pk: "sic_id",
+				cols: []colSpec{
+					{"sic_id", sqlir.TypeNumber, "id", seq()},
+					{"concert_id", sqlir.TypeNumber, "concert", nil},
+					{"singer_id", sqlir.TypeNumber, "singer", nil},
+				},
+				minRows: 45, maxRows: 80},
+		},
+		fks: []fkSpec{
+			{"concert", "stadium_id", "stadium", "stadium_id"},
+			{"singer_in_concert", "concert_id", "concert", "concert_id"},
+			{"singer_in_concert", "singer_id", "singer", "singer_id"},
+		},
+	},
+	{
+		name: "pets",
+		tables: []tableSpec{
+			{name: "student", entity: "student", entities: "students", pk: "student_id",
+				cols: []colSpec{
+					{"student_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"major", sqlir.TypeText, "major", choice("History", "Biology", "Physics", "Economics", "Art")},
+					{"age", sqlir.TypeNumber, "age", intRange(17, 30)},
+					{"city", sqlir.TypeText, "home city", fromList(cityNames)},
+				},
+				minRows: 18, maxRows: 30},
+			{name: "pet", entity: "pet", entities: "pets", pk: "pet_id",
+				cols: []colSpec{
+					{"pet_id", sqlir.TypeNumber, "id", seq()},
+					{"pet_type", sqlir.TypeText, "type", choice("dog", "cat", "bird", "rabbit", "hamster")},
+					{"pet_name", sqlir.TypeText, "name", fromList(peopleFirst)},
+					{"weight", sqlir.TypeNumber, "weight", intRange(1, 40)},
+					{"pet_age", sqlir.TypeNumber, "age", intRange(1, 15)},
+				},
+				minRows: 15, maxRows: 25},
+			{name: "has_pet", entity: "ownership", entities: "ownerships", pk: "hp_id",
+				cols: []colSpec{
+					{"hp_id", sqlir.TypeNumber, "id", seq()},
+					{"student_id", sqlir.TypeNumber, "student", nil},
+					{"pet_id", sqlir.TypeNumber, "pet", nil},
+				},
+				minRows: 20, maxRows: 35},
+		},
+		fks: []fkSpec{
+			{"has_pet", "student_id", "student", "student_id"},
+			{"has_pet", "pet_id", "pet", "pet_id"},
+		},
+	},
+	{
+		name: "flights",
+		tables: []tableSpec{
+			{name: "airline", entity: "airline", entities: "airlines", pk: "airline_id",
+				cols: []colSpec{
+					{"airline_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(countryNames, []string{"Air", "Airways", "Jet", "Wings"})},
+					{"country", sqlir.TypeText, "country", fromList(countryNames)},
+					{"fleet_size", sqlir.TypeNumber, "fleet size", intRange(5, 400)},
+				},
+				minRows: 8, maxRows: 14},
+			{name: "airport", entity: "airport", entities: "airports", pk: "airport_id",
+				cols: []colSpec{
+					{"airport_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"International", "Regional", "Municipal"})},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+					{"elevation", sqlir.TypeNumber, "elevation", intRange(0, 9000)},
+				},
+				minRows: 10, maxRows: 18},
+			{name: "flight", entity: "flight", entities: "flights", pk: "flight_id",
+				cols: []colSpec{
+					{"flight_id", sqlir.TypeNumber, "id", seq()},
+					{"airline_id", sqlir.TypeNumber, "airline", nil},
+					{"src_airport_id", sqlir.TypeNumber, "origin airport", nil},
+					{"distance", sqlir.TypeNumber, "distance", intRange(100, 9000)},
+					{"price", sqlir.TypeNumber, "price", intRange(50, 2200)},
+				},
+				minRows: 35, maxRows: 60},
+		},
+		fks: []fkSpec{
+			{"flight", "airline_id", "airline", "airline_id"},
+			{"flight", "src_airport_id", "airport", "airport_id"},
+		},
+	},
+	{
+		name: "employees",
+		tables: []tableSpec{
+			{name: "department", entity: "department", entities: "departments", pk: "dept_id",
+				cols: []colSpec{
+					{"dept_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", fromList([]string{"Engineering", "Marketing", "Sales", "Finance", "Support", "Research", "Legal", "Operations"})},
+					{"budget", sqlir.TypeNumber, "budget", intRange(100000, 5000000)},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+				},
+				minRows: 6, maxRows: 8},
+			{name: "employee", entity: "employee", entities: "employees", pk: "emp_id",
+				cols: []colSpec{
+					{"emp_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"dept_id", sqlir.TypeNumber, "department", nil},
+					{"salary", sqlir.TypeNumber, "salary", intRange(30000, 180000)},
+					{"hire_year", sqlir.TypeNumber, "hire year", intRange(1995, 2023)},
+				},
+				minRows: 30, maxRows: 50},
+			{name: "project", entity: "project", entities: "projects", pk: "proj_id",
+				cols: []colSpec{
+					{"proj_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite([]string{"Project", "Initiative", "Program"}, []string{"Alpha", "Beta", "Gamma", "Delta", "Omega", "Zephyr", "Titan"})},
+					{"dept_id", sqlir.TypeNumber, "department", nil},
+					{"cost", sqlir.TypeNumber, "cost", intRange(10000, 900000)},
+				},
+				minRows: 12, maxRows: 22},
+		},
+		fks: []fkSpec{
+			{"employee", "dept_id", "department", "dept_id"},
+			{"project", "dept_id", "department", "dept_id"},
+		},
+	},
+	{
+		name: "library",
+		tables: []tableSpec{
+			{name: "writer", entity: "writer", entities: "writers", pk: "writer_id",
+				cols: []colSpec{
+					{"writer_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"country", sqlir.TypeText, "country", fromList(countryNames)},
+					{"birth_year", sqlir.TypeNumber, "birth year", intRange(1900, 1995)},
+				},
+				minRows: 12, maxRows: 20},
+			{name: "book", entity: "book", entities: "books", pk: "book_id",
+				cols: []colSpec{
+					{"book_id", sqlir.TypeNumber, "id", seq()},
+					{"title", sqlir.TypeText, "title", composite([]string{"The Silent", "A Distant", "The Last", "Beyond the", "Tales of the"}, []string{"River", "Mountain", "Garden", "Harbor", "Winter", "Mirror"})},
+					{"writer_id", sqlir.TypeNumber, "writer", nil},
+					{"pub_year", sqlir.TypeNumber, "publication year", intRange(1950, 2023)},
+					{"pages", sqlir.TypeNumber, "page count", intRange(80, 900)},
+				},
+				minRows: 25, maxRows: 45},
+			{name: "branch", entity: "branch", entities: "branches", pk: "branch_id",
+				cols: []colSpec{
+					{"branch_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"Central", "North", "South", "East"})},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+				},
+				minRows: 6, maxRows: 10},
+			{name: "copy", entity: "copy", entities: "copies", pk: "copy_id",
+				cols: []colSpec{
+					{"copy_id", sqlir.TypeNumber, "id", seq()},
+					{"book_id", sqlir.TypeNumber, "book", nil},
+					{"branch_id", sqlir.TypeNumber, "branch", nil},
+				},
+				minRows: 40, maxRows: 70},
+		},
+		fks: []fkSpec{
+			{"book", "writer_id", "writer", "writer_id"},
+			{"copy", "book_id", "book", "book_id"},
+			{"copy", "branch_id", "branch", "branch_id"},
+		},
+	},
+	{
+		name: "courses",
+		tables: []tableSpec{
+			{name: "teacher", entity: "teacher", entities: "teachers", pk: "teacher_id",
+				cols: []colSpec{
+					{"teacher_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"department", sqlir.TypeText, "department", choice("Mathematics", "Science", "Literature", "History", "Music")},
+					{"years_teaching", sqlir.TypeNumber, "years of experience", intRange(1, 40)},
+				},
+				minRows: 10, maxRows: 16},
+			{name: "course", entity: "course", entities: "courses", pk: "course_id",
+				cols: []colSpec{
+					{"course_id", sqlir.TypeNumber, "id", seq()},
+					{"title", sqlir.TypeText, "title", composite([]string{"Intro to", "Advanced", "Applied", "Foundations of"}, []string{"Algebra", "Chemistry", "Poetry", "World History", "Harmony", "Statistics"})},
+					{"teacher_id", sqlir.TypeNumber, "teacher", nil},
+					{"credits", sqlir.TypeNumber, "credits", intRange(1, 6)},
+					{"enrollment", sqlir.TypeNumber, "enrollment", intRange(5, 120)},
+				},
+				minRows: 20, maxRows: 35},
+		},
+		fks: []fkSpec{
+			{"course", "teacher_id", "teacher", "teacher_id"},
+		},
+	},
+	{
+		name: "shop",
+		tables: []tableSpec{
+			{name: "supplier", entity: "supplier", entities: "suppliers", pk: "supplier_id",
+				cols: []colSpec{
+					{"supplier_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"Goods", "Trading", "Supply", "Wholesale"})},
+					{"country", sqlir.TypeText, "country", fromList(countryNames)},
+				},
+				minRows: 8, maxRows: 12},
+			{name: "product", entity: "product", entities: "products", pk: "product_id",
+				cols: []colSpec{
+					{"product_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite([]string{"Classic", "Deluxe", "Eco", "Ultra", "Mini"}, []string{"Lamp", "Chair", "Desk", "Kettle", "Blanket", "Clock"})},
+					{"supplier_id", sqlir.TypeNumber, "supplier", nil},
+					{"price", sqlir.TypeNumber, "price", intRange(5, 900)},
+					{"stock", sqlir.TypeNumber, "stock", intRange(0, 500)},
+				},
+				minRows: 25, maxRows: 40},
+			{name: "customer", entity: "customer", entities: "customers", pk: "customer_id",
+				cols: []colSpec{
+					{"customer_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+				},
+				minRows: 15, maxRows: 25},
+			{name: "purchase", entity: "purchase", entities: "purchases", pk: "purchase_id",
+				cols: []colSpec{
+					{"purchase_id", sqlir.TypeNumber, "id", seq()},
+					{"customer_id", sqlir.TypeNumber, "customer", nil},
+					{"product_id", sqlir.TypeNumber, "product", nil},
+					{"quantity", sqlir.TypeNumber, "quantity", intRange(1, 12)},
+				},
+				minRows: 40, maxRows: 70},
+		},
+		fks: []fkSpec{
+			{"product", "supplier_id", "supplier", "supplier_id"},
+			{"purchase", "customer_id", "customer", "customer_id"},
+			{"purchase", "product_id", "product", "product_id"},
+		},
+	},
+	{
+		name: "hospital",
+		tables: []tableSpec{
+			{name: "doctor", entity: "doctor", entities: "doctors", pk: "doctor_id",
+				cols: []colSpec{
+					{"doctor_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"specialty", sqlir.TypeText, "specialty", choice("Cardiology", "Neurology", "Pediatrics", "Oncology", "Radiology")},
+					{"experience", sqlir.TypeNumber, "years of experience", intRange(1, 40)},
+				},
+				minRows: 10, maxRows: 16},
+			{name: "patient", entity: "patient", entities: "patients", pk: "patient_id",
+				cols: []colSpec{
+					{"patient_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"age", sqlir.TypeNumber, "age", intRange(1, 95)},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+				},
+				minRows: 20, maxRows: 35},
+			{name: "appointment", entity: "appointment", entities: "appointments", pk: "appt_id",
+				cols: []colSpec{
+					{"appt_id", sqlir.TypeNumber, "id", seq()},
+					{"doctor_id", sqlir.TypeNumber, "doctor", nil},
+					{"patient_id", sqlir.TypeNumber, "patient", nil},
+					{"fee", sqlir.TypeNumber, "fee", intRange(40, 600)},
+				},
+				minRows: 35, maxRows: 60},
+		},
+		fks: []fkSpec{
+			{"appointment", "doctor_id", "doctor", "doctor_id"},
+			{"appointment", "patient_id", "patient", "patient_id"},
+		},
+	},
+	{
+		name: "racing",
+		tables: []tableSpec{
+			{name: "team", entity: "team", entities: "teams", pk: "team_id",
+				cols: []colSpec{
+					{"team_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"Racing", "Motors", "Speed", "GP"})},
+					{"country", sqlir.TypeText, "country", fromList(countryNames)},
+					{"founded", sqlir.TypeNumber, "founding year", intRange(1950, 2015)},
+				},
+				minRows: 8, maxRows: 12},
+			{name: "driver", entity: "driver", entities: "drivers", pk: "driver_id",
+				cols: []colSpec{
+					{"driver_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"team_id", sqlir.TypeNumber, "team", nil},
+					{"age", sqlir.TypeNumber, "age", intRange(18, 45)},
+					{"wins", sqlir.TypeNumber, "wins", intRange(0, 60)},
+				},
+				minRows: 16, maxRows: 26},
+		},
+		fks: []fkSpec{
+			{"driver", "team_id", "team", "team_id"},
+		},
+	},
+	{
+		name: "hotel",
+		tables: []tableSpec{
+			{name: "hotel", entity: "hotel", entities: "hotels", pk: "hotel_id",
+				cols: []colSpec{
+					{"hotel_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"Grand", "Plaza", "Inn", "Suites"})},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+					{"stars", sqlir.TypeNumber, "star rating", intRange(1, 5)},
+				},
+				minRows: 8, maxRows: 14},
+			{name: "guest", entity: "guest", entities: "guests", pk: "guest_id",
+				cols: []colSpec{
+					{"guest_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"country", sqlir.TypeText, "country", fromList(countryNames)},
+				},
+				minRows: 15, maxRows: 25},
+			{name: "booking", entity: "booking", entities: "bookings", pk: "booking_id",
+				cols: []colSpec{
+					{"booking_id", sqlir.TypeNumber, "id", seq()},
+					{"hotel_id", sqlir.TypeNumber, "hotel", nil},
+					{"guest_id", sqlir.TypeNumber, "guest", nil},
+					{"nights", sqlir.TypeNumber, "number of nights", intRange(1, 21)},
+					{"rate", sqlir.TypeNumber, "nightly rate", intRange(40, 900)},
+				},
+				minRows: 30, maxRows: 55},
+		},
+		fks: []fkSpec{
+			{"booking", "hotel_id", "hotel", "hotel_id"},
+			{"booking", "guest_id", "guest", "guest_id"},
+		},
+	},
+	{
+		name: "museum",
+		tables: []tableSpec{
+			{name: "museum", entity: "museum", entities: "museums", pk: "museum_id",
+				cols: []colSpec{
+					{"museum_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(cityNames, []string{"Museum", "Gallery", "Collection"})},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+					{"founded", sqlir.TypeNumber, "founding year", intRange(1800, 2010)},
+				},
+				minRows: 7, maxRows: 11},
+			{name: "artist", entity: "artist", entities: "artists", pk: "artist_id",
+				cols: []colSpec{
+					{"artist_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"nationality", sqlir.TypeText, "nationality", fromList(countryNames)},
+					{"birth_year", sqlir.TypeNumber, "birth year", intRange(1850, 1990)},
+				},
+				minRows: 12, maxRows: 18},
+			{name: "artwork", entity: "artwork", entities: "artworks", pk: "artwork_id",
+				cols: []colSpec{
+					{"artwork_id", sqlir.TypeNumber, "id", seq()},
+					{"title", sqlir.TypeText, "title", composite([]string{"Study of", "Portrait of", "Landscape with", "Composition"}, []string{"Light", "Shadows", "a Garden", "the Sea", "Motion", "Stillness"})},
+					{"artist_id", sqlir.TypeNumber, "artist", nil},
+					{"museum_id", sqlir.TypeNumber, "museum", nil},
+					{"year_created", sqlir.TypeNumber, "creation year", intRange(1880, 2020)},
+				},
+				minRows: 30, maxRows: 50},
+		},
+		fks: []fkSpec{
+			{"artwork", "artist_id", "artist", "artist_id"},
+			{"artwork", "museum_id", "museum", "museum_id"},
+		},
+	},
+	{
+		name: "restaurant",
+		tables: []tableSpec{
+			{name: "chef", entity: "chef", entities: "chefs", pk: "chef_id",
+				cols: []colSpec{
+					{"chef_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite(peopleFirst, peopleLast)},
+					{"cuisine", sqlir.TypeText, "cuisine", choice("Italian", "Japanese", "Mexican", "French", "Indian")},
+					{"rating", sqlir.TypeNumber, "rating", intRange(1, 10)},
+				},
+				minRows: 10, maxRows: 16},
+			{name: "restaurant", entity: "restaurant", entities: "restaurants", pk: "rest_id",
+				cols: []colSpec{
+					{"rest_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite([]string{"Casa", "Chez", "The", "Little"}, []string{"Verde", "Amber", "Harbor", "Olive", "Saffron"})},
+					{"chef_id", sqlir.TypeNumber, "head chef", nil},
+					{"city", sqlir.TypeText, "city", fromList(cityNames)},
+					{"seats", sqlir.TypeNumber, "seat count", intRange(15, 200)},
+				},
+				minRows: 14, maxRows: 24},
+			{name: "dish", entity: "dish", entities: "dishes", pk: "dish_id",
+				cols: []colSpec{
+					{"dish_id", sqlir.TypeNumber, "id", seq()},
+					{"name", sqlir.TypeText, "name", composite([]string{"Grilled", "Roasted", "Braised", "Seared"}, []string{"Salmon", "Risotto", "Dumplings", "Lamb", "Tofu"})},
+					{"rest_id", sqlir.TypeNumber, "restaurant", nil},
+					{"price", sqlir.TypeNumber, "price", intRange(6, 80)},
+				},
+				minRows: 28, maxRows: 48},
+		},
+		fks: []fkSpec{
+			{"restaurant", "chef_id", "chef", "chef_id"},
+			{"dish", "rest_id", "restaurant", "rest_id"},
+		},
+	},
+}

@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// Difficulty follows the Table 5 caption: Easy tasks are project-join
+// queries including aggregates, sorting, and limit operators; Medium tasks
+// also include selection predicates; Hard tasks include grouping operators.
+type Difficulty uint8
+
+const (
+	Easy Difficulty = iota
+	Medium
+	Hard
+)
+
+// String names the difficulty.
+func (d Difficulty) String() string {
+	switch d {
+	case Easy:
+		return "easy"
+	case Medium:
+		return "medium"
+	default:
+		return "hard"
+	}
+}
+
+// ClassifyDifficulty derives the difficulty of a gold query per the paper's
+// definition.
+func ClassifyDifficulty(q *sqlir.Query) Difficulty {
+	if q.GroupByState == sqlir.ClausePresent {
+		return Hard
+	}
+	if q.WhereState == sqlir.ClausePresent && len(q.Where.Preds) > 0 {
+		return Medium
+	}
+	return Easy
+}
+
+// Task is one benchmark task: an NLQ paired with its gold SQL on a database.
+type Task struct {
+	ID         string
+	DB         *storage.Database
+	NLQ        string
+	SQL        string
+	Gold       *sqlir.Query
+	Literals   []sqlir.Value
+	Difficulty Difficulty
+}
+
+// GoldResult executes the gold query.
+func (t *Task) GoldResult() (*sqlexec.Result, error) {
+	return sqlexec.Execute(t.DB, t.Gold)
+}
+
+// masTaskDef defines one Appendix A task.
+type masTaskDef struct {
+	id   string
+	desc string // English task description (Tables 7 and 8)
+	sql  string
+	lits []sqlir.Value
+}
+
+// The Appendix A tasks with literals re-scaled to the synthetic MAS data
+// (DESIGN.md §3): conference C → SIGMOD, organization R → University of
+// Michigan, author A → Alice Johnson, domain D → Databases; the count
+// thresholds 500/100/50 become 50/8/10 at this data scale, and 5/8 for the
+// PBE-study tasks.
+var masTaskDefs = []masTaskDef{
+	{"A1", "List all publications in conference SIGMOD and their year of publication.",
+		"SELECT t2.title, t2.year FROM conference AS t1 JOIN publication AS t2 ON t1.cid = t2.cid WHERE t1.name = 'SIGMOD'",
+		[]sqlir.Value{text("SIGMOD")}},
+	{"A2", "List keywords and the number of publications containing each, ordered from most to least publications.",
+		"SELECT t1.keyword, COUNT(*) FROM keyword AS t1 JOIN publication_keyword AS t2 ON t1.kid = t2.kid GROUP BY t1.keyword ORDER BY COUNT(*) DESC",
+		nil},
+	{"A3", "How many publications has each author from organization University of Michigan published?",
+		"SELECT t1.name, COUNT(*) FROM author AS t1 JOIN writes AS t2 ON t2.aid = t1.aid JOIN organization AS t3 ON t3.oid = t1.oid WHERE t3.name = 'University of Michigan' GROUP BY t1.name",
+		[]sqlir.Value{text("University of Michigan")}},
+	{"A4", "List journals with more than 50 publications and the publication count for each.",
+		"SELECT t1.name, COUNT(*) FROM journal AS t1 JOIN publication AS t2 ON t1.jid = t2.jid GROUP BY t1.name HAVING COUNT(*) > 50",
+		[]sqlir.Value{num(50)}},
+	{"B1", "List the titles and years of publications by author Alice Johnson.",
+		"SELECT t1.title, t1.year FROM publication AS t1 JOIN writes AS t2 ON t2.pid = t1.pid JOIN author AS t3 ON t3.aid = t2.aid WHERE t3.name = 'Alice Johnson'",
+		[]sqlir.Value{text("Alice Johnson")}},
+	{"B2", "List the conferences and homepages in the Databases domain.",
+		"SELECT t1.name, t1.homepage FROM conference AS t1 JOIN domain_conference AS t2 ON t2.cid = t1.cid JOIN domain AS t3 ON t3.did = t2.did WHERE t3.name = 'Databases'",
+		[]sqlir.Value{text("Databases")}},
+	{"B3", "List organizations with more than 8 authors and the number of authors for each.",
+		"SELECT t2.name, COUNT(*) FROM author AS t1 JOIN organization AS t2 ON t1.oid = t2.oid GROUP BY t2.name HAVING COUNT(*) > 8",
+		[]sqlir.Value{num(8)}},
+	{"B4", "List authors from organization University of Michigan with more than 10 publications and the number of publications for each author.",
+		"SELECT t1.name, COUNT(*) FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid JOIN organization AS t3 ON t1.oid = t3.oid WHERE t3.name = 'University of Michigan' GROUP BY t1.name HAVING COUNT(*) > 10",
+		[]sqlir.Value{text("University of Michigan"), num(10)}},
+	{"C1", "List all publications in conference SIGMOD.",
+		"SELECT t2.title FROM conference AS t1 JOIN publication AS t2 ON t1.cid = t2.cid WHERE t1.name = 'SIGMOD'",
+		[]sqlir.Value{text("SIGMOD")}},
+	{"C2", "List authors in domain Databases.",
+		"SELECT t1.name FROM author AS t1 JOIN domain_author AS t2 ON t1.aid = t2.aid JOIN domain AS t3 ON t2.did = t3.did WHERE t3.name = 'Databases'",
+		[]sqlir.Value{text("Databases")}},
+	{"C3", "List authors with more than 5 papers in conference SIGMOD.",
+		"SELECT t1.name FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid JOIN publication AS t3 ON t2.pid = t3.pid JOIN conference AS t4 ON t3.cid = t4.cid WHERE t4.name = 'SIGMOD' GROUP BY t1.name HAVING COUNT(*) > 5",
+		[]sqlir.Value{text("SIGMOD"), num(5)}},
+	{"D1", "List the titles of publications published by author Alice Johnson.",
+		"SELECT t3.title FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid JOIN publication AS t3 ON t2.pid = t3.pid WHERE t1.name = 'Alice Johnson'",
+		[]sqlir.Value{text("Alice Johnson")}},
+	{"D2", "List the names of organizations in continent Europe.",
+		"SELECT name FROM organization WHERE continent = 'Europe'",
+		[]sqlir.Value{text("Europe")}},
+	{"D3", "List authors with more than 8 papers in conference SIGMOD.",
+		"SELECT t1.name FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid JOIN publication AS t3 ON t2.pid = t3.pid JOIN conference AS t4 ON t3.cid = t4.cid WHERE t4.name = 'SIGMOD' GROUP BY t1.name HAVING COUNT(*) > 8",
+		[]sqlir.Value{text("SIGMOD"), num(8)}},
+}
+
+// MASTasks builds the 14 Appendix A tasks bound to one shared MAS database.
+// Tasks A1–B4 form the NLI-study sets (Table 7); C1–D3 the PBE-study sets
+// (Table 8).
+func MASTasks() ([]*Task, *storage.Database) {
+	db := MAS()
+	var out []*Task
+	for _, def := range masTaskDefs {
+		gold, err := sqlparse.Parse(db.Schema, def.sql)
+		if err != nil {
+			panic(fmt.Sprintf("dataset: task %s: %v", def.id, err))
+		}
+		out = append(out, &Task{
+			ID:         def.id,
+			DB:         db,
+			NLQ:        def.desc,
+			SQL:        def.sql,
+			Gold:       gold,
+			Literals:   def.lits,
+			Difficulty: ClassifyDifficulty(gold),
+		})
+	}
+	return out, db
+}
+
+// NLIStudyTasks returns the A/B task sets.
+func NLIStudyTasks() ([]*Task, *storage.Database) {
+	all, db := MASTasks()
+	return all[:8], db
+}
+
+// PBEStudyTasks returns the C/D task sets.
+func PBEStudyTasks() ([]*Task, *storage.Database) {
+	all, db := MASTasks()
+	return all[8:], db
+}

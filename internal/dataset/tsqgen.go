@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/tsq"
+)
+
+// DetailLevel is the amount of TSQ specification detail (§5.4.4).
+type DetailLevel uint8
+
+const (
+	// DetailFull: type annotations, two example tuples randomly selected
+	// from the gold result, and τ/k from the gold query (§5.4.1).
+	DetailFull DetailLevel = iota
+	// DetailPartial: the Full TSQ with all values of one randomly-selected
+	// column erased (only for tasks with at least 2 projected columns).
+	DetailPartial
+	// DetailMinimal: type annotations only.
+	DetailMinimal
+)
+
+// String names the level.
+func (d DetailLevel) String() string {
+	switch d {
+	case DetailFull:
+		return "Full"
+	case DetailPartial:
+		return "Partial"
+	default:
+		return "Minimal"
+	}
+}
+
+// SynthesizeTSQ builds the simulation study's TSQ for a task at the given
+// detail level, seeded for reproducibility. The gold query must produce a
+// non-empty result (tasks with empty results were removed, §5.4.1).
+func SynthesizeTSQ(task *Task, level DetailLevel, seed int64) (*tsq.TSQ, error) {
+	res, err := task.GoldResult()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("dataset: task %s: gold result is empty", task.ID)
+	}
+	sk := &tsq.TSQ{
+		Types:  append([]sqlir.Type{}, res.Types...),
+		Sorted: task.Gold.OrderByState == sqlir.ClausePresent,
+		Limit:  task.Gold.Limit,
+	}
+	if level == DetailMinimal {
+		return sk, nil
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	// Two example tuples randomly selected from the result set. When the
+	// TSQ is sorted the tuples must respect the result order (Def. 2.4).
+	idxs := pickRows(r, len(res.Rows), 2)
+	for _, i := range idxs {
+		var tp tsq.Tuple
+		for _, v := range res.Rows[i] {
+			if v.IsNull() {
+				tp = append(tp, tsq.Empty())
+			} else {
+				tp = append(tp, tsq.Exact(v))
+			}
+		}
+		sk.Tuples = append(sk.Tuples, tp)
+	}
+
+	if level == DetailPartial && len(res.Types) >= 2 {
+		erase := r.Intn(len(res.Types))
+		for ti := range sk.Tuples {
+			sk.Tuples[ti][erase] = tsq.Empty()
+		}
+	}
+	return sk, nil
+}
+
+// pickRows selects up to n distinct row indexes in ascending order (so
+// sorted TSQs respect the result order).
+func pickRows(r *rand.Rand, total, n int) []int {
+	if total <= n {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	for len(seen) < n {
+		seen[r.Intn(total)] = true
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < total; i++ {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Fact is one entry of a user-study fact bank (§5.1.5): domain knowledge
+// expressed as a partial example tuple, possibly with a numeric range
+// instead of an exact value.
+type Fact struct {
+	Tuple tsq.Tuple
+}
+
+// FactBank builds the 10-fact bank for a task: rows drawn from the gold
+// result, some numeric cells widened into ranges, mimicking imprecise
+// domain knowledge ("Sandra Bullock starred in Gravity sometime between
+// 2010 and 2017").
+func FactBank(task *Task, seed int64) ([]Fact, error) {
+	res, err := task.GoldResult()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("dataset: task %s: empty gold result", task.ID)
+	}
+	r := rand.New(rand.NewSource(seed))
+	var facts []Fact
+	idxs := pickRows(r, len(res.Rows), 10)
+	for _, i := range idxs {
+		var tp tsq.Tuple
+		for _, v := range res.Rows[i] {
+			switch {
+			case v.IsNull():
+				tp = append(tp, tsq.Empty())
+			case v.Kind == sqlir.KindNumber && r.Float64() < 0.4:
+				// Imprecise knowledge: a range around the true value.
+				span := 1 + float64(r.Intn(5))
+				tp = append(tp, tsq.Range(v.Num-span, v.Num+span))
+			default:
+				tp = append(tp, tsq.Exact(v))
+			}
+		}
+		facts = append(facts, Fact{Tuple: tp})
+	}
+	// Shuffle presentation order (the study presented facts shuffled).
+	r.Shuffle(len(facts), func(i, j int) { facts[i], facts[j] = facts[j], facts[i] })
+	return facts, nil
+}
+
+// VerifyAgainstFacts reports how many facts appear in a result preview —
+// the simulated user's sanity check on a candidate query.
+func VerifyAgainstFacts(res *sqlexec.Result, facts []Fact) int {
+	n := 0
+	for _, f := range facts {
+		sk := tsq.TSQ{Tuples: []tsq.Tuple{f.Tuple}}
+		if sk.Satisfies(res) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,548 @@
+// Package enumerate implements guided partial query enumeration (GPQE,
+// Algorithm 1): a best-first search over partial-query states ordered by
+// the cumulative product of guidance-model softmax scores (§3.3.3), with
+// progressive join path construction (§3.3.4) and ascending-cost cascading
+// verification pruning branches as early as possible (§3.4).
+//
+// The package also provides the paper's two §5.4.3 ablations: ModeNoPQ
+// verifies only complete queries (the naïve chaining approach of §3.5) and
+// ModeNoGuide replaces best-first order with breadth-first enumeration that
+// ignores confidence scores.
+package enumerate
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/guidance"
+	"github.com/duoquest/duoquest/internal/schemagraph"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+	"github.com/duoquest/duoquest/internal/verify"
+)
+
+// Mode selects the enumeration variant.
+type Mode uint8
+
+const (
+	// ModeGPQE is the full algorithm: guided order + partial-query pruning.
+	ModeGPQE Mode = iota
+	// ModeNoPQ keeps guided order but verifies only complete queries.
+	ModeNoPQ
+	// ModeNoGuide uses breadth-first order (simpler queries first, schema
+	// order within a level) while keeping partial-query pruning.
+	ModeNoGuide
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNoPQ:
+		return "NoPQ"
+	case ModeNoGuide:
+		return "NoGuide"
+	default:
+		return "GPQE"
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	Mode Mode
+	// MaxCandidates stops the search after emitting this many candidates
+	// (0 = unlimited).
+	MaxCandidates int
+	// MaxStates caps explored states as a safety net (default 500000).
+	MaxStates int
+	// Budget is the wall-clock budget (0 = none); the front-end's
+	// pre-specified timeout (§4).
+	Budget time.Duration
+	// GeoMeanPriority orders states by the geometric mean of their module
+	// softmax values instead of the product — the alternative confidence
+	// definition §3.3.3 discusses (it removes the preference for shorter
+	// queries at the cost of Property 1). Off by default, as in the paper.
+	GeoMeanPriority bool
+}
+
+// Candidate is one emitted complete query.
+type Candidate struct {
+	Query *sqlir.Query
+	// Confidence is the cumulative product of module softmax values.
+	Confidence float64
+	// Rank is the 1-based emission order (highest confidence first under
+	// GPQE's best-first policy).
+	Rank int
+	// Elapsed is the time from search start to emission.
+	Elapsed time.Duration
+	// States is the number of states explored before emission.
+	States int
+}
+
+// Result summarises a finished search.
+type Result struct {
+	Candidates []Candidate
+	States     int
+	Exhausted  bool // the whole space was enumerated
+	Elapsed    time.Duration
+}
+
+// state is one search node: a partial query plus its confidence.
+type state struct {
+	q       *sqlir.Query
+	logConf float64
+	joinLen int // §3.3.4 tiebreaker: shorter join paths first
+	depth   int // decision depth, the NoGuide BFS key
+	seq     int // FIFO tiebreaker for determinism
+}
+
+// stateQueue is the priority collection P of Algorithm 1.
+type stateQueue struct {
+	items   []*state
+	noGuide bool
+	geoMean bool
+}
+
+func (pq *stateQueue) Len() int { return len(pq.items) }
+
+// priority returns the best-first key for a state.
+func (pq *stateQueue) priority(s *state) float64 {
+	if pq.geoMean && s.depth > 0 {
+		return s.logConf / float64(s.depth)
+	}
+	return s.logConf
+}
+
+func (pq *stateQueue) Less(i, j int) bool {
+	a, b := pq.items[i], pq.items[j]
+	if pq.noGuide {
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		return a.seq < b.seq
+	}
+	pa, pb := pq.priority(a), pq.priority(b)
+	if pa != pb {
+		return pa > pb
+	}
+	if a.joinLen != b.joinLen {
+		return a.joinLen < b.joinLen
+	}
+	return a.seq < b.seq
+}
+func (pq *stateQueue) Swap(i, j int) { pq.items[i], pq.items[j] = pq.items[j], pq.items[i] }
+func (pq *stateQueue) Push(x any)    { pq.items = append(pq.items, x.(*state)) }
+func (pq *stateQueue) Pop() any {
+	old := pq.items
+	n := len(old)
+	it := old[n-1]
+	pq.items = old[:n-1]
+	return it
+}
+
+// Enumerator runs GPQE for one synthesis task.
+type Enumerator struct {
+	db       *storage.Database
+	graph    *schemagraph.Graph
+	model    guidance.Model
+	verifier *verify.Verifier
+	opts     Options
+
+	seq int
+}
+
+// New builds an enumerator. The verifier encapsulates the TSQ, literals, and
+// semantic rules; pass a verifier built with a nil sketch for the NLI
+// baseline.
+func New(db *storage.Database, model guidance.Model, verifier *verify.Verifier, opts Options) *Enumerator {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 500000
+	}
+	return &Enumerator{
+		db:       db,
+		graph:    schemagraph.New(db.Schema),
+		model:    model,
+		verifier: verifier,
+		opts:     opts,
+	}
+}
+
+// Enumerate runs Algorithm 1, invoking emit for each candidate query in
+// ranked order. emit returning false stops the search early.
+func (e *Enumerator) Enumerate(ctx context.Context, nlq string, literals []sqlir.Value, emit func(Candidate) bool) (*Result, error) {
+	start := time.Now()
+	deadline := time.Time{}
+	if e.opts.Budget > 0 {
+		deadline = start.Add(e.opts.Budget)
+	}
+	mctx := guidance.NewContextDB(nlq, literals, e.db, nil)
+
+	pq := &stateQueue{noGuide: e.opts.Mode == ModeNoGuide, geoMean: e.opts.GeoMeanPriority}
+	root := &state{q: sqlir.NewQuery(), logConf: 0}
+	heap.Push(pq, root)
+
+	res := &Result{}
+	seen := map[string]bool{} // canonical dedup of emitted candidates
+	emitted := 0
+
+	for pq.Len() > 0 {
+		if res.States >= e.opts.MaxStates {
+			return res, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		select {
+		case <-ctx.Done():
+			res.Elapsed = time.Since(start)
+			return res, nil
+		default:
+		}
+
+		p := heap.Pop(pq).(*state)
+		res.States++
+
+		children, err := e.nextStep(mctx, p)
+		if err != nil {
+			return res, err
+		}
+		for _, c := range children {
+			if e.opts.Mode != ModeNoPQ || c.q.Complete() {
+				out, err := e.verifier.Verify(c.q)
+				if err != nil {
+					return res, err
+				}
+				if !out.OK {
+					continue
+				}
+			}
+			if c.q.Complete() {
+				key := c.q.Canonical()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				emitted++
+				cand := Candidate{
+					Query:      c.q,
+					Confidence: math.Exp(c.logConf),
+					Rank:       emitted,
+					Elapsed:    time.Since(start),
+					States:     res.States,
+				}
+				res.Candidates = append(res.Candidates, cand)
+				if emit != nil && !emit(cand) {
+					res.Elapsed = time.Since(start)
+					return res, nil
+				}
+				if e.opts.MaxCandidates > 0 && emitted >= e.opts.MaxCandidates {
+					res.Elapsed = time.Since(start)
+					return res, nil
+				}
+			} else {
+				heap.Push(pq, c)
+			}
+		}
+	}
+	res.Exhausted = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// child clones the parent state and applies a decision with probability p.
+func (e *Enumerator) child(parent *state, p float64, mutate func(q *sqlir.Query)) *state {
+	q := parent.q.Clone()
+	mutate(q)
+	e.seq++
+	lc := parent.logConf
+	if p > 0 {
+		lc += math.Log(p)
+	} else {
+		lc = math.Inf(-1)
+	}
+	jl := parent.joinLen
+	if q.From != nil {
+		jl = q.From.Len()
+	}
+	return &state{q: q, logConf: lc, joinLen: jl, depth: parent.depth + 1, seq: e.seq}
+}
+
+// nextStep is EnumNextStep (Algorithm 1, Line 5): it finds the next pending
+// decision in module execution order (§3.3.1) and produces one child state
+// per output class of the corresponding module.
+func (e *Enumerator) nextStep(mctx *guidance.Context, p *state) ([]*state, error) {
+	q := p.q
+	ctx := mctx.WithQuery(q)
+	uniform := e.opts.Mode == ModeNoGuide
+
+	switch {
+	case !q.KWSet:
+		return e.kwChildren(ctx, p, uniform), nil
+
+	case !q.SelectCountSet:
+		return mapChildren(e, p, uniform, e.model.SelectCount(ctx), func(q *sqlir.Query, n int) {
+			q.Select = make([]sqlir.SelectItem, n)
+			q.SelectCountSet = true
+		}), nil
+
+	case firstUndecidedCol(q) >= 0:
+		idx := firstUndecidedCol(q)
+		return mapChildren(e, p, uniform, e.model.SelectColumn(ctx, idx), func(q *sqlir.Query, c sqlir.ColumnRef) {
+			q.Select[idx].Col = c
+			q.Select[idx].ColSet = true
+		}), nil
+
+	case firstUndecidedAgg(q) >= 0:
+		idx := firstUndecidedAgg(q)
+		return mapChildren(e, p, uniform, e.model.SelectAgg(ctx, idx, q.Select[idx].Col), func(q *sqlir.Query, a sqlir.AggFunc) {
+			q.Select[idx].Agg = a
+			q.Select[idx].AggSet = true
+		}), nil
+
+	case q.From == nil:
+		return e.joinPathChildren(p)
+
+	case q.WhereState == sqlir.ClausePending:
+		return mapChildren(e, p, uniform, e.model.WhereCount(ctx), func(q *sqlir.Query, n int) {
+			q.Where.Preds = make([]sqlir.Predicate, n)
+			q.Where.CountSet = true
+			q.WhereState = sqlir.ClausePresent
+		}), nil
+
+	case q.WhereState == sqlir.ClausePresent && len(q.Where.Preds) >= 2 && !q.Where.ConjSet:
+		return mapChildren(e, p, uniform, e.model.WhereConj(ctx), func(q *sqlir.Query, c sqlir.LogicalOp) {
+			q.Where.Conj = c
+			q.Where.ConjSet = true
+		}), nil
+
+	case firstPredWithout(q, predColUnset) >= 0:
+		idx := firstPredWithout(q, predColUnset)
+		return mapChildren(e, p, uniform, e.model.WhereColumn(ctx, idx), func(q *sqlir.Query, c sqlir.ColumnRef) {
+			q.Where.Preds[idx].Col = c
+			q.Where.Preds[idx].ColSet = true
+		}), nil
+
+	case firstPredWithout(q, predOpUnset) >= 0:
+		idx := firstPredWithout(q, predOpUnset)
+		return mapChildren(e, p, uniform, e.model.WhereOp(ctx, q.Where.Preds[idx].Col), func(q *sqlir.Query, op sqlir.Op) {
+			q.Where.Preds[idx].Op = op
+			q.Where.Preds[idx].OpSet = true
+		}), nil
+
+	case firstPredWithout(q, predValUnset) >= 0:
+		idx := firstPredWithout(q, predValUnset)
+		pr := q.Where.Preds[idx]
+		return mapChildren(e, p, uniform, e.model.WhereValue(ctx, pr.Col, pr.Op), func(q *sqlir.Query, v sqlir.Value) {
+			q.Where.Preds[idx].Val = v
+			q.Where.Preds[idx].ValSet = true
+		}), nil
+
+	case q.GroupByState == sqlir.ClausePending:
+		// GROUP BY is determined by SQL semantics: every unaggregated
+		// projection must be grouped. No unaggregated projections means
+		// the branch has no valid grouping within the task scope.
+		cols := unaggregatedCols(q)
+		if len(cols) == 0 {
+			return nil, nil
+		}
+		return []*state{e.child(p, 1, func(q *sqlir.Query) {
+			q.GroupBy = cols
+			q.GroupByState = sqlir.ClausePresent
+			q.HavingState = sqlir.ClausePending
+		})}, nil
+
+	case q.GroupByState == sqlir.ClausePresent && q.HavingState == sqlir.ClausePending && !q.Having.AggSet:
+		var out []*state
+		for _, s := range e.model.HavingPresent(ctx) {
+			prob := s.Prob
+			if uniform {
+				prob = 1
+			}
+			if s.Class {
+				for _, ac := range e.model.HavingAggCol(ctx) {
+					pac := ac.Prob
+					if uniform {
+						pac = 1
+					}
+					agg, col := ac.Class.Agg, ac.Class.Col
+					out = append(out, e.child(p, prob*pac, func(q *sqlir.Query) {
+						q.HavingState = sqlir.ClausePresent
+						q.Having.Agg = agg
+						q.Having.AggSet = true
+						q.Having.Col = col
+						q.Having.ColSet = true
+					}))
+				}
+			} else {
+				out = append(out, e.child(p, prob, func(q *sqlir.Query) {
+					q.HavingState = sqlir.ClauseAbsent
+				}))
+			}
+		}
+		return out, nil
+
+	case q.HavingState == sqlir.ClausePresent && !q.Having.OpSet:
+		return mapChildren(e, p, uniform, e.model.HavingOp(ctx), func(q *sqlir.Query, op sqlir.Op) {
+			q.Having.Op = op
+			q.Having.OpSet = true
+		}), nil
+
+	case q.HavingState == sqlir.ClausePresent && !q.Having.ValSet:
+		return mapChildren(e, p, uniform, e.model.HavingValue(ctx), func(q *sqlir.Query, v sqlir.Value) {
+			q.Having.Val = v
+			q.Having.ValSet = true
+		}), nil
+
+	case q.OrderByState == sqlir.ClausePending:
+		return mapChildren(e, p, uniform, e.model.OrderKey(ctx), func(q *sqlir.Query, k guidance.AggCol) {
+			q.OrderBy.Key = sqlir.OrderKey{Agg: k.Agg, Col: k.Col}
+			q.OrderBy.KeySet = true
+			q.OrderByState = sqlir.ClausePresent
+		}), nil
+
+	case q.OrderByState == sqlir.ClausePresent && !q.OrderBy.DirSet:
+		return mapChildren(e, p, uniform, e.model.OrderDir(ctx), func(q *sqlir.Query, d guidance.DirLimit) {
+			q.OrderBy.Desc = d.Desc
+			q.OrderBy.DirSet = true
+			q.Limit = d.Limit
+			q.LimitSet = true
+		}), nil
+	}
+	return nil, fmt.Errorf("enumerate: no pending decision for %s", q)
+}
+
+// kwChildren expands the KW module: one child per clause combination.
+func (e *Enumerator) kwChildren(ctx *guidance.Context, p *state, uniform bool) []*state {
+	var out []*state
+	for _, s := range e.model.Keywords(ctx) {
+		prob := s.Prob
+		if uniform {
+			prob = 1
+		}
+		ks := s.Class
+		out = append(out, e.child(p, prob, func(q *sqlir.Query) {
+			q.KWSet = true
+			q.WhereState = stateIf(ks.Where)
+			q.GroupByState = stateIf(ks.GroupBy)
+			q.OrderByState = stateIf(ks.OrderBy)
+			if !ks.OrderBy {
+				// LIMIT is decided with ORDER BY direction; without
+				// ORDER BY the query has no LIMIT.
+				q.LimitSet = true
+			}
+		}))
+	}
+	return out
+}
+
+// pathPenalty discounts expansion tables beyond the minimal Steiner tree so
+// the candidate stream is not flooded by semantically-superfluous join
+// variants of the same logical query. The §3.3.4 length tie-breaker alone
+// cannot separate them once deeper decisions differentiate confidence.
+const pathPenalty = 0.45
+
+// joinPathChildren expands progressive join path construction (Algorithm 2):
+// one child per candidate path. The minimal paths keep the parent's
+// confidence (as in the paper); each expansion table multiplies in
+// pathPenalty, and path length remains the secondary tiebreaker.
+func (e *Enumerator) joinPathChildren(p *state) ([]*state, error) {
+	paths, err := e.graph.ConstructJoinPaths(p.q)
+	if err != nil {
+		// Disconnected column sets have no valid FROM clause: prune.
+		return nil, nil
+	}
+	minLen := 0
+	for i, jp := range paths {
+		if i == 0 || jp.Len() < minLen {
+			minLen = jp.Len()
+		}
+	}
+	var out []*state
+	for _, jp := range paths {
+		jp := jp
+		prob := math.Pow(pathPenalty, float64(jp.Len()-minLen))
+		out = append(out, e.child(p, prob, func(q *sqlir.Query) {
+			q.From = jp
+		}))
+	}
+	return out, nil
+}
+
+// mapChildren turns a module distribution into child states.
+func mapChildren[T any](e *Enumerator, p *state, uniform bool, scored []guidance.Scored[T], apply func(q *sqlir.Query, class T)) []*state {
+	var out []*state
+	for _, s := range scored {
+		prob := s.Prob
+		if uniform {
+			prob = 1
+		}
+		class := s.Class
+		out = append(out, e.child(p, prob, func(q *sqlir.Query) {
+			apply(q, class)
+		}))
+	}
+	return out
+}
+
+func stateIf(present bool) sqlir.ClauseState {
+	if present {
+		return sqlir.ClausePending
+	}
+	return sqlir.ClauseAbsent
+}
+
+func firstUndecidedCol(q *sqlir.Query) int {
+	for i, s := range q.Select {
+		if !s.ColSet {
+			return i
+		}
+	}
+	return -1
+}
+
+func firstUndecidedAgg(q *sqlir.Query) int {
+	for i, s := range q.Select {
+		if !s.AggSet {
+			return i
+		}
+	}
+	return -1
+}
+
+func predColUnset(p sqlir.Predicate) bool { return !p.ColSet }
+func predOpUnset(p sqlir.Predicate) bool  { return !p.OpSet }
+func predValUnset(p sqlir.Predicate) bool { return !p.ValSet }
+
+func firstPredWithout(q *sqlir.Query, unset func(sqlir.Predicate) bool) int {
+	if q.WhereState != sqlir.ClausePresent {
+		return -1
+	}
+	for i, p := range q.Where.Preds {
+		if unset(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// unaggregatedCols lists the unaggregated projected columns (the GROUP BY
+// key mandated by SQL semantics).
+func unaggregatedCols(q *sqlir.Query) []sqlir.ColumnRef {
+	var out []sqlir.ColumnRef
+	for _, s := range q.Select {
+		if s.Complete() && s.Agg == sqlir.AggNone && !s.Col.IsStar() {
+			out = append(out, s.Col)
+		}
+	}
+	return out
+}
+
+// SchemaGraph exposes the enumerator's schema graph (used by the PBE
+// baseline and tooling to share join path construction).
+func (e *Enumerator) SchemaGraph() *schemagraph.Graph { return e.graph }
+
+// VerifierStats exposes the verifier's per-stage counters.
+func (e *Enumerator) VerifierStats() verify.Stats { return e.verifier.Stats() }

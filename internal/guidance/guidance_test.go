@@ -1,0 +1,445 @@
+package guidance
+
+import (
+	"math"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+func moviesSchema() *storage.Schema {
+	actor := storage.NewTable("actor", "aid",
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "gender", Type: sqlir.TypeText},
+		storage.Column{Name: "birth_yr", Type: sqlir.TypeNumber},
+	)
+	movie := storage.NewTable("movie", "mid",
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "title", Type: sqlir.TypeText},
+		storage.Column{Name: "year", Type: sqlir.TypeNumber},
+		storage.Column{Name: "revenue", Type: sqlir.TypeNumber},
+	)
+	starring := storage.NewTable("starring", "sid",
+		storage.Column{Name: "sid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+	)
+	s := storage.NewSchema(actor, movie, starring)
+	s.AddForeignKey("starring", "aid", "actor", "aid")
+	s.AddForeignKey("starring", "mid", "movie", "mid")
+	return s
+}
+
+func ctxFor(nlq string, lits ...sqlir.Value) *Context {
+	return NewContext(nlq, lits, moviesSchema(), sqlir.NewQuery())
+}
+
+func sumProbs[T any](s []Scored[T]) float64 {
+	t := 0.0
+	for _, x := range s {
+		t += x.Prob
+	}
+	return t
+}
+
+func assertNormalized[T any](t *testing.T, name string, s []Scored[T]) {
+	t.Helper()
+	if len(s) == 0 {
+		t.Fatalf("%s: empty distribution", name)
+	}
+	if d := math.Abs(sumProbs(s) - 1); d > 1e-9 {
+		t.Errorf("%s: probabilities sum to %v", name, sumProbs(s))
+	}
+	for _, x := range s {
+		if x.Prob <= 0 || x.Prob > 1 {
+			t.Errorf("%s: probability %v out of (0,1]", name, x.Prob)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Show names of movies starring actors, from before 1995!")
+	want := []string{"show", "names", "of", "movies", "starring", "actors", "from", "before", "1995"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	got = Tokenize("birth_yr")
+	if len(got) != 2 || got[0] != "birth" || got[1] != "yr" {
+		t.Errorf("underscore split: %v", got)
+	}
+}
+
+func TestRelated(t *testing.T) {
+	if related("movie", "movie") != 1.0 {
+		t.Error("exact match")
+	}
+	if related("movie", "films") != 0.8 {
+		t.Error("synonym via table")
+	}
+	if related("publication", "papers") != 0.8 {
+		t.Error("synonym forward")
+	}
+	if related("papers", "publication") != 0.8 {
+		t.Error("synonym reverse")
+	}
+	if related("directed", "director") != 0.6 {
+		t.Error("prefix stem")
+	}
+	if related("cat", "dog") != 0 {
+		t.Error("unrelated")
+	}
+}
+
+func TestContainsPhrase(t *testing.T) {
+	toks := []string{"how", "many", "movies", "are", "there"}
+	if !containsPhrase(toks, "how many") {
+		t.Error("bigram")
+	}
+	if containsPhrase(toks, "many how") {
+		t.Error("order matters")
+	}
+	if containsPhrase(toks, "") {
+		t.Error("empty phrase")
+	}
+	if !containsAny(toks, "nope", "movies") {
+		t.Error("containsAny")
+	}
+}
+
+// Property 1 plumbing: every module's distribution sums to 1.
+func TestAllModulesNormalized(t *testing.T) {
+	m := NewLexicalModel()
+	ctx := ctxFor("show the names of movies starring actors before 1995 ordered by year",
+		sqlir.NewInt(1995))
+	assertNormalized(t, "Keywords", m.Keywords(ctx))
+	assertNormalized(t, "SelectCount", m.SelectCount(ctx))
+	assertNormalized(t, "SelectColumn", m.SelectColumn(ctx, 0))
+	assertNormalized(t, "SelectAgg", m.SelectAgg(ctx, 0, sqlir.ColumnRef{Table: "movie", Column: "year"}))
+	assertNormalized(t, "WhereCount", m.WhereCount(ctx))
+	assertNormalized(t, "WhereConj", m.WhereConj(ctx))
+	assertNormalized(t, "WhereColumn", m.WhereColumn(ctx, 0))
+	assertNormalized(t, "WhereOp", m.WhereOp(ctx, sqlir.ColumnRef{Table: "movie", Column: "year"}))
+	assertNormalized(t, "WhereValue", m.WhereValue(ctx, sqlir.ColumnRef{Table: "movie", Column: "year"}, sqlir.OpLt))
+	assertNormalized(t, "HavingPresent", m.HavingPresent(ctx))
+	assertNormalized(t, "HavingAggCol", m.HavingAggCol(ctx))
+	assertNormalized(t, "HavingOp", m.HavingOp(ctx))
+	assertNormalized(t, "HavingValue", m.HavingValue(ctx))
+	assertNormalized(t, "OrderKey", m.OrderKey(ctx))
+	assertNormalized(t, "OrderDir", m.OrderDir(ctx))
+}
+
+func top[T any](s []Scored[T]) T {
+	best := 0
+	for i := range s {
+		if s[i].Prob > s[best].Prob {
+			best = i
+		}
+	}
+	return s[best].Class
+}
+
+func TestKeywordCues(t *testing.T) {
+	m := NewLexicalModel()
+	// Plain projection: no clauses.
+	ks := top(m.Keywords(ctxFor("show all movie titles")))
+	if ks.Where || ks.GroupBy || ks.OrderBy {
+		t.Errorf("plain NLQ keywords = %+v", ks)
+	}
+	// Literal implies WHERE.
+	ks = top(m.Keywords(ctxFor("movies released before 1995", sqlir.NewInt(1995))))
+	if !ks.Where {
+		t.Errorf("literal should imply WHERE: %+v", ks)
+	}
+	// "for each" implies GROUP BY.
+	ks = top(m.Keywords(ctxFor("number of movies for each actor")))
+	if !ks.GroupBy {
+		t.Errorf("'for each' should imply GROUP BY: %+v", ks)
+	}
+	// "ordered" implies ORDER BY.
+	ks = top(m.Keywords(ctxFor("movies ordered from earliest to most recent")))
+	if !ks.OrderBy {
+		t.Errorf("'ordered' should imply ORDER BY: %+v", ks)
+	}
+}
+
+func TestSelectColumnLexicalMatch(t *testing.T) {
+	m := NewLexicalModel()
+	best := top(m.SelectColumn(ctxFor("list the titles of all movies"), 0))
+	if best != (sqlir.ColumnRef{Table: "movie", Column: "title"}) {
+		t.Errorf("best column = %v", best)
+	}
+	best = top(m.SelectColumn(ctxFor("names of actors"), 0))
+	if best != (sqlir.ColumnRef{Table: "actor", Column: "name"}) {
+		t.Errorf("best column = %v", best)
+	}
+}
+
+func TestSelectColumnStarForCount(t *testing.T) {
+	m := NewLexicalModel()
+	s := m.SelectColumn(ctxFor("how many movies are there"), 0)
+	if got := top(s); !got.IsStar() {
+		t.Errorf("count NLQ should rank * first, got %v", got)
+	}
+}
+
+func TestSelectAggCues(t *testing.T) {
+	m := NewLexicalModel()
+	year := sqlir.ColumnRef{Table: "movie", Column: "year"}
+	if got := top(m.SelectAgg(ctxFor("the average year of movies"), 0, year)); got != sqlir.AggAvg {
+		t.Errorf("avg cue: %v", got)
+	}
+	if got := top(m.SelectAgg(ctxFor("list years"), 0, year)); got != sqlir.AggNone {
+		t.Errorf("no cue: %v", got)
+	}
+	if got := top(m.SelectAgg(ctxFor("x"), 0, sqlir.Star)); got != sqlir.AggCount {
+		t.Errorf("star forces count: %v", got)
+	}
+	// Text column excludes numeric aggregates entirely.
+	name := sqlir.ColumnRef{Table: "actor", Column: "name"}
+	for _, s := range m.SelectAgg(ctxFor("average name"), 0, name) {
+		if s.Class.NumericOnly() {
+			t.Errorf("numeric-only agg %v offered on text column", s.Class)
+		}
+	}
+}
+
+func TestWhereOpCues(t *testing.T) {
+	m := NewLexicalModel()
+	year := sqlir.ColumnRef{Table: "movie", Column: "year"}
+	if got := top(m.WhereOp(ctxFor("movies before 1995"), year)); got != sqlir.OpLt {
+		t.Errorf("before → <, got %v", got)
+	}
+	if got := top(m.WhereOp(ctxFor("movies after 2000"), year)); got != sqlir.OpGt {
+		t.Errorf("after → >, got %v", got)
+	}
+	if got := top(m.WhereOp(ctxFor("movies from 1995"), year)); got != sqlir.OpEq {
+		t.Errorf("default → =, got %v", got)
+	}
+	// Text columns never get ordering ops.
+	name := sqlir.ColumnRef{Table: "actor", Column: "name"}
+	for _, s := range m.WhereOp(ctxFor("actors before 1995"), name) {
+		if s.Class.Ordering() {
+			t.Errorf("ordering op %v offered on text column", s.Class)
+		}
+	}
+}
+
+func TestWhereValueTypeFiltered(t *testing.T) {
+	m := NewLexicalModel()
+	ctx := ctxFor("movies named Gravity from 2013", sqlir.NewText("Gravity"), sqlir.NewInt(2013))
+	year := sqlir.ColumnRef{Table: "movie", Column: "year"}
+	vals := m.WhereValue(ctx, year, sqlir.OpEq)
+	if len(vals) != 1 || !vals[0].Class.Equal(sqlir.NewInt(2013)) {
+		t.Errorf("year values = %v", vals)
+	}
+	title := sqlir.ColumnRef{Table: "movie", Column: "title"}
+	vals = m.WhereValue(ctx, title, sqlir.OpEq)
+	if len(vals) != 1 || !vals[0].Class.Equal(sqlir.NewText("Gravity")) {
+		t.Errorf("title values = %v", vals)
+	}
+	// LIKE wraps the literal in wildcards.
+	vals = m.WhereValue(ctx, title, sqlir.OpLike)
+	if len(vals) != 1 || vals[0].Class.Text != "%Gravity%" {
+		t.Errorf("like values = %v", vals)
+	}
+	// No literals of the right type: empty distribution (branch dies).
+	ctx2 := ctxFor("movies", sqlir.NewText("Gravity"))
+	if vals := m.WhereValue(ctx2, year, sqlir.OpEq); len(vals) != 0 {
+		t.Errorf("expected no numeric candidates: %v", vals)
+	}
+}
+
+func TestOrderDirCues(t *testing.T) {
+	m := NewLexicalModel()
+	got := top(m.OrderDir(ctxFor("movies from earliest to most recent")))
+	if got.Desc {
+		t.Errorf("earliest-first should be ASC: %+v", got)
+	}
+	got = top(m.OrderDir(ctxFor("top movies from most to least revenue")))
+	if !got.Desc {
+		t.Errorf("most-first should be DESC: %+v", got)
+	}
+	// "top 3" proposes limit 3.
+	s := m.OrderDir(ctxFor("top 3 movies by revenue", sqlir.NewInt(3)))
+	found := false
+	for _, x := range s {
+		if x.Class.Limit == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("limit 3 not proposed: %v", s)
+	}
+}
+
+func TestWhereCountTracksLiterals(t *testing.T) {
+	m := NewLexicalModel()
+	got := top(m.WhereCount(ctxFor("movies before 1995 or after 2000", sqlir.NewInt(1995), sqlir.NewInt(2000))))
+	if got != 2 {
+		t.Errorf("two literals → 2 predicates, got %d", got)
+	}
+}
+
+func TestCandidateTablesRestrictedByFrom(t *testing.T) {
+	schema := moviesSchema()
+	q := sqlir.NewQuery()
+	q.From = &sqlir.JoinPath{Tables: []string{"movie"}}
+	ctx := NewContext("title year", nil, schema, q)
+	for _, s := range NewLexicalModel().SelectColumn(ctx, 0) {
+		if !s.Class.IsStar() && s.Class.Table != "movie" {
+			t.Errorf("column %v outside join path offered", s.Class)
+		}
+	}
+}
+
+func TestNormalizeDropsNonPositive(t *testing.T) {
+	in := []Scored[int]{{1, 0.5}, {2, 0}, {3, -1}, {4, 0.5}}
+	out := Normalize(in)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Prob != 0.5 || out[1].Prob != 0.5 {
+		t.Errorf("out = %v", out)
+	}
+	if Normalize([]Scored[int]{{1, 0}}) != nil {
+		t.Error("all-zero should normalize to nil")
+	}
+}
+
+func TestOracleModelConcentratesOnGold(t *testing.T) {
+	schema := moviesSchema()
+	gold := sqlparse.MustParse(schema,
+		"SELECT title FROM movie WHERE year < 1995 ORDER BY year ASC")
+	m := NewOracleModel(gold, 0)
+	ctx := NewContext("movies before 1995", []sqlir.Value{sqlir.NewInt(1995)}, schema, sqlir.NewQuery())
+
+	ks := m.Keywords(ctx)
+	assertNormalized(t, "oracle keywords", ks)
+	best := top(ks)
+	if !best.Where || best.GroupBy || !best.OrderBy {
+		t.Errorf("oracle keywords = %+v", best)
+	}
+	if got := top(m.SelectCount(ctx)); got != 1 {
+		t.Errorf("oracle select count = %d", got)
+	}
+	if got := top(m.SelectColumn(ctx, 0)); got != (sqlir.ColumnRef{Table: "movie", Column: "title"}) {
+		t.Errorf("oracle select col = %v", got)
+	}
+	if got := top(m.WhereOp(ctx, sqlir.ColumnRef{Table: "movie", Column: "year"})); got != sqlir.OpLt {
+		t.Errorf("oracle op = %v", got)
+	}
+	if got := top(m.OrderDir(ctx)); got.Desc || got.Limit != 0 {
+		t.Errorf("oracle dir = %+v", got)
+	}
+}
+
+func TestOracleNoiseSpreadsMass(t *testing.T) {
+	schema := moviesSchema()
+	gold := sqlparse.MustParse(schema, "SELECT title FROM movie")
+	m := NewOracleModel(gold, 0.5)
+	ctx := NewContext("titles", nil, schema, sqlir.NewQuery())
+	s := m.SelectColumn(ctx, 0)
+	assertNormalized(t, "noisy oracle", s)
+	var goldP float64
+	for _, x := range s {
+		if x.Class == (sqlir.ColumnRef{Table: "movie", Column: "title"}) {
+			goldP = x.Prob
+		}
+	}
+	if math.Abs(goldP-0.5) > 1e-9 {
+		t.Errorf("gold mass = %v, want 0.5", goldP)
+	}
+}
+
+func TestOracleAddsMissingGoldClass(t *testing.T) {
+	schema := moviesSchema()
+	// Gold uses a literal the context does not know: the oracle must add it.
+	gold := sqlparse.MustParse(schema, "SELECT title FROM movie WHERE year = 1937")
+	m := NewOracleModel(gold, 0.1)
+	// Simulate the enumeration state: one predicate with col and op decided
+	// and the value slot open.
+	q := sqlir.NewQuery()
+	q.WhereState = sqlir.ClausePresent
+	q.Where.CountSet = true
+	q.Where.Preds = []sqlir.Predicate{{
+		Col: sqlir.ColumnRef{Table: "movie", Column: "year"}, ColSet: true,
+		Op: sqlir.OpEq, OpSet: true,
+	}}
+	ctx := NewContext("movies", nil, schema, q)
+	vals := m.WhereValue(ctx, sqlir.ColumnRef{Table: "movie", Column: "year"}, sqlir.OpEq)
+	if len(vals) != 1 || !vals[0].Class.Equal(sqlir.NewInt(1937)) {
+		t.Errorf("oracle values = %v", vals)
+	}
+}
+
+func TestTemperatureFlattens(t *testing.T) {
+	sharp := NewLexicalModel()
+	flat := NewLexicalModel()
+	flat.Temperature = 4
+	ctx := ctxFor("list the titles of all movies")
+	s1 := sharp.SelectColumn(ctx, 0)
+	s2 := flat.SelectColumn(ctx, 0)
+	max1, max2 := 0.0, 0.0
+	for _, x := range s1 {
+		if x.Prob > max1 {
+			max1 = x.Prob
+		}
+	}
+	for _, x := range s2 {
+		if x.Prob > max2 {
+			max2 = x.Prob
+		}
+	}
+	if max2 >= max1 {
+		t.Errorf("temperature should flatten: %v vs %v", max1, max2)
+	}
+}
+
+func TestLiteralColumnsGrounding(t *testing.T) {
+	schema := moviesSchema()
+	// Populate so containment checks have data.
+	schema.Table("movie").MustInsert(sqlir.NewInt(1), sqlir.NewText("Gravity"), sqlir.NewInt(2013), sqlir.NewInt(700))
+	schema.Table("actor").MustInsert(sqlir.NewInt(1), sqlir.NewText("Tom Hanks"), sqlir.NewText("male"), sqlir.NewInt(1956))
+	db := storage.NewDatabase("g", schema)
+	ctx := NewContextDB("movies named Gravity from 2013",
+		[]sqlir.Value{sqlir.NewText("Gravity"), sqlir.NewInt(2013)}, db, sqlir.NewQuery())
+	lc := ctx.LiteralColumns()
+	if lc[sqlir.ColumnRef{Table: "movie", Column: "title"}] == 0 {
+		t.Error("movie.title contains 'Gravity'")
+	}
+	if lc[sqlir.ColumnRef{Table: "actor", Column: "name"}] != 0 {
+		t.Error("actor.name does not contain 'Gravity'")
+	}
+	// Numeric grounding: year range covers 2013.
+	if lc[sqlir.ColumnRef{Table: "movie", Column: "year"}] == 0 {
+		t.Error("movie.year covers 2013")
+	}
+	// Memoized: second call returns the same map.
+	if got := ctx.LiteralColumns(); len(got) != len(lc) {
+		t.Error("memoization broken")
+	}
+	// Without a database, grounding is disabled.
+	ctx2 := NewContext("x", []sqlir.Value{sqlir.NewText("Gravity")}, schema, nil)
+	if ctx2.LiteralColumns() != nil {
+		t.Error("no DB should mean no grounding")
+	}
+}
+
+func TestWhereColumnPrefersGroundedLiteral(t *testing.T) {
+	schema := moviesSchema()
+	schema.Table("movie").MustInsert(sqlir.NewInt(1), sqlir.NewText("Gravity"), sqlir.NewInt(2013), sqlir.NewInt(700))
+	db := storage.NewDatabase("g", schema)
+	ctx := NewContextDB("show things about Gravity", []sqlir.Value{sqlir.NewText("Gravity")}, db, sqlir.NewQuery())
+	best := top(NewLexicalModel().WhereColumn(ctx, 0))
+	if best != (sqlir.ColumnRef{Table: "movie", Column: "title"}) {
+		t.Errorf("grounded literal should pick movie.title, got %v", best)
+	}
+}

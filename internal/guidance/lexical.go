@@ -1,0 +1,633 @@
+package guidance
+
+import (
+	"math"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// LexicalModel is the deterministic guidance model substituting for the
+// paper's SyntaxSQLNet checkpoint. It scores each module's output classes by
+// token and synonym overlap between the NLQ and schema identifiers plus
+// keyword cues ("how many" → COUNT, "before" → <, "for each" → GROUP BY …)
+// and softmax-normalises each decision, satisfying the two §3.3.5
+// requirements: incremental partial-query updates and Property 1.
+//
+// Like the neural model it replaces, it is an imperfect ranker: paraphrased
+// or ambiguous NLQs produce flat or misordered distributions, which is
+// exactly the regime where TSQ-based pruning pays off.
+type LexicalModel struct {
+	// MaxSelect bounds the number of projections considered (default 3).
+	MaxSelect int
+	// MaxWhere bounds the number of selection predicates (default 3).
+	MaxWhere int
+	// Temperature sharpens (<1) or flattens (>1) every distribution;
+	// 1 leaves the lexical scores as-is.
+	Temperature float64
+}
+
+// NewLexicalModel returns a model with the defaults used in the evaluation.
+func NewLexicalModel() *LexicalModel {
+	return &LexicalModel{MaxSelect: 3, MaxWhere: 3, Temperature: 1.35}
+}
+
+var _ Model = (*LexicalModel)(nil)
+
+// temper applies temperature scaling then normalises.
+func temper[T any](m *LexicalModel, in []Scored[T]) []Scored[T] {
+	t := m.Temperature
+	if t <= 0 {
+		t = 1
+	}
+	if t != 1 {
+		for i := range in {
+			if in[i].Prob > 0 {
+				in[i].Prob = math.Pow(in[i].Prob, 1/t)
+			}
+		}
+	}
+	return Normalize(in)
+}
+
+// candidateTables returns the tables later modules may reference: the join
+// path's tables once FROM is decided, or the whole schema before that.
+func candidateTables(ctx *Context) []*storage.Table {
+	if ctx.Query != nil && ctx.Query.From != nil {
+		var out []*storage.Table
+		for _, name := range ctx.Query.From.Tables {
+			if t := ctx.Schema.Table(name); t != nil {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	return ctx.Schema.Tables
+}
+
+// nameColumn returns the table's display attribute: its first non-key text
+// column ("name", "title", …), which an NLQ mentioning the entity usually
+// asks for.
+func nameColumn(table *storage.Table) string {
+	for _, c := range table.Columns {
+		if c.Type == sqlir.TypeText && c.Name != table.PrimaryKey {
+			return c.Name
+		}
+	}
+	return ""
+}
+
+// columnScore rates how strongly the NLQ evokes table.column.
+func columnScore(ctx *Context, table *storage.Table, col storage.Column) float64 {
+	colTok := Tokenize(col.Name)
+	tblTok := Tokenize(table.Name)
+	s := tokenSetScore(ctx.Tokens, colTok)
+	tblScore := tokenSetScore(ctx.Tokens, tblTok)
+	s += 0.35 * tblScore
+	// "List the publications …" asks for the entity's display attribute —
+	// unless the question is a count ("how many movies"), where the entity
+	// mention feeds COUNT(*) instead.
+	if tblScore >= 0.75 && col.Name == nameColumn(table) {
+		s += 0.45 * (1 - countCue(ctx.Tokens))
+	}
+	// Primary/foreign key id columns are rarely what an NLQ asks for.
+	if col.Name == table.PrimaryKey || (len(col.Name) > 2 && col.Name[len(col.Name)-2:] == "id") || col.Name == "id" {
+		s *= 0.3
+	}
+	return s + 0.02 // smoothing: every column stays reachable
+}
+
+// scoredColumns scores every candidate column, excluding any in skip.
+func scoredColumns(ctx *Context, skip map[sqlir.ColumnRef]bool) []Scored[sqlir.ColumnRef] {
+	var out []Scored[sqlir.ColumnRef]
+	for _, t := range candidateTables(ctx) {
+		for _, c := range t.Columns {
+			ref := sqlir.ColumnRef{Table: t.Name, Column: c.Name}
+			if skip[ref] {
+				continue
+			}
+			out = append(out, Scored[sqlir.ColumnRef]{Class: ref, Prob: columnScore(ctx, t, c)})
+		}
+	}
+	return out
+}
+
+// --- cue detectors -------------------------------------------------------
+
+func countCue(tok []string) float64 {
+	switch {
+	case containsAny(tok, "how many", "number of", "count of", "count the", "total number"):
+		return 0.9
+	case containsAny(tok, "count", "number"):
+		return 0.5
+	default:
+		return 0.05
+	}
+}
+
+func aggCue(tok []string, agg sqlir.AggFunc) float64 {
+	switch agg {
+	case sqlir.AggCount:
+		return countCue(tok)
+	case sqlir.AggMax:
+		if containsAny(tok, "maximum", "highest", "largest", "greatest", "most recent", "latest", "biggest", "max") {
+			return 0.7
+		}
+	case sqlir.AggMin:
+		if containsAny(tok, "minimum", "lowest", "smallest", "earliest", "least recent", "min", "cheapest") {
+			return 0.7
+		}
+	case sqlir.AggAvg:
+		if containsAny(tok, "average", "mean", "avg") {
+			return 0.85
+		}
+	case sqlir.AggSum:
+		if containsAny(tok, "total", "sum", "combined", "altogether") {
+			return 0.7
+		}
+	}
+	return 0.03
+}
+
+func whereCue(tok []string, lits int) float64 {
+	s := 0.12
+	if lits > 0 {
+		s += 0.55
+	}
+	if containsAny(tok, "with", "whose", "that", "which", "in", "from", "by", "named", "called",
+		"before", "after", "between", "more than", "less than", "at least", "at most",
+		"over", "under", "above", "below", "starring", "containing") {
+		s += 0.25
+	}
+	return math.Min(s, 0.95)
+}
+
+func groupCue(tok []string) float64 {
+	switch {
+	case containsAny(tok, "each", "every", "per", "for each", "grouped", "group"):
+		return 0.85
+	case containsAny(tok, "and the number", "and their number", "with more than", "with at least", "with fewer than"):
+		return 0.75
+	default:
+		return 0.08
+	}
+}
+
+func orderCue(tok []string) float64 {
+	switch {
+	case containsAny(tok, "ordered", "order", "sorted", "sort", "ranked", "rank",
+		"from earliest", "from most", "from least", "from oldest", "from newest",
+		"alphabetical", "alphabetically", "descending", "ascending", "top", "first"):
+		return 0.85
+	case containsAny(tok, "most", "least", "earliest", "latest", "highest", "lowest"):
+		return 0.4
+	default:
+		return 0.07
+	}
+}
+
+func havingCue(tok []string, numericLits int) float64 {
+	if containsAny(tok, "more than", "at least", "fewer than", "less than", "at most", "over", "under", "exceeding") &&
+		numericLits > 0 {
+		return 0.8
+	}
+	return 0.1
+}
+
+func opCue(tok []string, op sqlir.Op) float64 {
+	switch op {
+	case sqlir.OpEq:
+		return 0.5
+	case sqlir.OpNe:
+		if containsAny(tok, "not", "except", "other than", "excluding") {
+			return 0.6
+		}
+		return 0.02
+	case sqlir.OpLt:
+		if containsAny(tok, "before", "less than", "fewer than", "under", "below", "earlier than", "smaller than", "cheaper than", "younger than") {
+			return 0.6
+		}
+		return 0.04
+	case sqlir.OpGt:
+		if containsAny(tok, "after", "more than", "greater than", "over", "above", "later than", "larger than", "exceeding", "older than", "at least one") {
+			return 0.6
+		}
+		return 0.04
+	case sqlir.OpLe:
+		if containsAny(tok, "at most", "no more than", "up to") {
+			return 0.55
+		}
+		return 0.02
+	case sqlir.OpGe:
+		if containsAny(tok, "at least", "no less than", "or more", "minimum of") {
+			return 0.55
+		}
+		return 0.02
+	case sqlir.OpLike:
+		if containsAny(tok, "containing", "contains", "include", "includes", "including", "like", "starting with", "ending with", "substring") {
+			return 0.7
+		}
+		return 0.02
+	}
+	return 0.02
+}
+
+func descCue(tok []string) float64 {
+	switch {
+	case containsAny(tok, "descending", "most to least", "newest", "latest first", "highest first",
+		"from most", "from newest", "from highest", "most recent first", "largest first", "top"):
+		return 0.8
+	case containsAny(tok, "ascending", "least to most", "oldest", "earliest", "alphabetical",
+		"from least", "from oldest", "from lowest", "from earliest", "to most recent"):
+		return 0.15
+	default:
+		return 0.42
+	}
+}
+
+// --- Model implementation ------------------------------------------------
+
+// Keywords scores the 8 clause combinations as a product of per-clause cues.
+func (m *LexicalModel) Keywords(ctx *Context) []Scored[KeywordSet] {
+	w := whereCue(ctx.Tokens, len(ctx.Literals))
+	g := groupCue(ctx.Tokens)
+	o := orderCue(ctx.Tokens)
+	var out []Scored[KeywordSet]
+	for _, ks := range AllKeywordSets() {
+		p := 1.0
+		if ks.Where {
+			p *= w
+		} else {
+			p *= 1 - w
+		}
+		if ks.GroupBy {
+			p *= g
+		} else {
+			p *= 1 - g
+		}
+		if ks.OrderBy {
+			p *= o
+		} else {
+			p *= 1 - o
+		}
+		out = append(out, Scored[KeywordSet]{Class: ks, Prob: p})
+	}
+	return temper(m, out)
+}
+
+// SelectCount estimates the projection count from coordination cues: each
+// "and their X" / "together with" style conjunction adds a column, and
+// "how many X per Y" grouping implies entity + count.
+func (m *LexicalModel) SelectCount(ctx *Context) []Scored[int] {
+	max := m.MaxSelect
+	if max <= 0 {
+		max = 3
+	}
+	est := 1
+	for _, tok := range ctx.Tokens {
+		if tok == "and" && est < max {
+			est++
+		}
+	}
+	for _, cue := range []string{"together with", "as well as", "with corresponding", "along with"} {
+		if containsPhrase(ctx.Tokens, cue) && est < max {
+			est++
+		}
+	}
+	// Grouped counting ("how many X has each Y", "number of X for each Y")
+	// projects the group key plus the count.
+	if groupCue(ctx.Tokens) > 0.5 && countCue(ctx.Tokens) > 0.4 && est < 2 {
+		est = 2
+	}
+	if est > max {
+		est = max
+	}
+	var out []Scored[int]
+	for n := 1; n <= max; n++ {
+		d := float64(n - est)
+		out = append(out, Scored[int]{Class: n, Prob: math.Exp(-0.9 * d * d)})
+	}
+	return temper(m, out)
+}
+
+// SelectColumn scores candidate columns (plus * for COUNT(*)), excluding
+// already-projected ones. Columns containing a tagged literal are likely
+// predicate targets, not projections ("publications in conference SIGMOD"
+// filters on conference.name rather than projecting it).
+func (m *LexicalModel) SelectColumn(ctx *Context, idx int) []Scored[sqlir.ColumnRef] {
+	skip := map[sqlir.ColumnRef]bool{}
+	if ctx.Query != nil {
+		for i, s := range ctx.Query.Select {
+			if i < idx && s.ColSet {
+				skip[s.Col] = true
+			}
+		}
+	}
+	out := scoredColumns(ctx, skip)
+	litCols := ctx.LiteralColumns()
+	for i := range out {
+		if out[i].Class.Column != "" && litCols[out[i].Class] > 0 {
+			ty, _ := ctx.Schema.Resolve(out[i].Class)
+			if ty == sqlir.TypeText {
+				out[i].Prob *= 0.25
+			}
+		}
+	}
+	star := countCue(ctx.Tokens)
+	if !skip[sqlir.Star] {
+		out = append(out, Scored[sqlir.ColumnRef]{Class: sqlir.Star, Prob: star * 0.8})
+	}
+	return temper(m, out)
+}
+
+// SelectAgg scores the aggregate for a projection: * forces COUNT; numeric
+// aggregates are suppressed on text columns (they would be pruned anyway).
+func (m *LexicalModel) SelectAgg(ctx *Context, idx int, col sqlir.ColumnRef) []Scored[sqlir.AggFunc] {
+	if col.IsStar() {
+		return []Scored[sqlir.AggFunc]{{Class: sqlir.AggCount, Prob: 1}}
+	}
+	ty, _ := ctx.Schema.Resolve(col)
+	var out []Scored[sqlir.AggFunc]
+	maxCue := 0.0
+	for _, agg := range []sqlir.AggFunc{sqlir.AggMax, sqlir.AggMin, sqlir.AggCount, sqlir.AggSum, sqlir.AggAvg} {
+		if agg.NumericOnly() && ty == sqlir.TypeText {
+			continue
+		}
+		cue := aggCue(ctx.Tokens, agg)
+		if cue > maxCue {
+			maxCue = cue
+		}
+		out = append(out, Scored[sqlir.AggFunc]{Class: agg, Prob: 0.9 * cue})
+	}
+	// The unaggregated prior yields to strong aggregate cues.
+	nonePrior := 0.9 - 0.8*maxCue
+	if nonePrior < 0.15 {
+		nonePrior = 0.15
+	}
+	out = append(out, Scored[sqlir.AggFunc]{Class: sqlir.AggNone, Prob: nonePrior})
+	return temper(m, out)
+}
+
+// WhereCount peaks at the number of tagged literals.
+func (m *LexicalModel) WhereCount(ctx *Context) []Scored[int] {
+	max := m.MaxWhere
+	if max <= 0 {
+		max = 3
+	}
+	est := len(ctx.Literals)
+	if est < 1 {
+		est = 1
+	}
+	if est > max {
+		est = max
+	}
+	var out []Scored[int]
+	for n := 1; n <= max; n++ {
+		d := float64(n - est)
+		out = append(out, Scored[int]{Class: n, Prob: math.Exp(-1.1 * d * d)})
+	}
+	return temper(m, out)
+}
+
+// WhereConj prefers AND unless an "or"/"either" cue appears. "and" in an
+// NLQ is notoriously ambiguous (the §2 example), so OR keeps real mass.
+func (m *LexicalModel) WhereConj(ctx *Context) []Scored[sqlir.LogicalOp] {
+	or := 0.25
+	if containsAny(ctx.Tokens, "or", "either", "and those") {
+		or = 0.6
+	}
+	return temper(m, []Scored[sqlir.LogicalOp]{
+		{Class: sqlir.LogicAnd, Prob: 1 - or},
+		{Class: sqlir.LogicOr, Prob: or},
+	})
+}
+
+// WhereColumn scores predicate columns: lexical score plus a boost when the
+// column's type matches a still-unused literal.
+func (m *LexicalModel) WhereColumn(ctx *Context, idx int) []Scored[sqlir.ColumnRef] {
+	used := map[sqlir.ColumnRef]int{}
+	if ctx.Query != nil {
+		for i, p := range ctx.Query.Where.Preds {
+			if i < idx && p.ColSet {
+				used[p.Col]++
+			}
+		}
+	}
+	textLits := len(ctx.TextLiterals())
+	numLits := len(ctx.NumericLiterals())
+	litCols := ctx.LiteralColumns()
+	var out []Scored[sqlir.ColumnRef]
+	for _, t := range candidateTables(ctx) {
+		for _, c := range t.Columns {
+			ref := sqlir.ColumnRef{Table: t.Name, Column: c.Name}
+			s := columnScore(ctx, t, c)
+			if c.Type == sqlir.TypeText && textLits > 0 {
+				s *= 1.6
+			}
+			if c.Type == sqlir.TypeNumber && numLits > 0 {
+				s *= 1.3
+			}
+			// Autocomplete grounding (§4): a tagged literal that actually
+			// occurs in this column is strong evidence for the predicate.
+			if n := litCols[ref]; n > 0 {
+				if c.Type == sqlir.TypeText {
+					s *= 3.5 * float64(n)
+				} else {
+					s *= 1.4
+				}
+			}
+			// Re-using a column is allowed (ranges) but discounted.
+			if used[ref] > 0 {
+				s *= 0.5
+			}
+			out = append(out, Scored[sqlir.ColumnRef]{Class: ref, Prob: s})
+		}
+	}
+	return temper(m, out)
+}
+
+// WhereOp scores operators with cue words, masking type-invalid choices.
+func (m *LexicalModel) WhereOp(ctx *Context, col sqlir.ColumnRef) []Scored[sqlir.Op] {
+	ty, _ := ctx.Schema.Resolve(col)
+	var out []Scored[sqlir.Op]
+	for _, op := range sqlir.AllOps {
+		if ty == sqlir.TypeText && op.Ordering() {
+			continue
+		}
+		if ty == sqlir.TypeNumber && op == sqlir.OpLike {
+			continue
+		}
+		out = append(out, Scored[sqlir.Op]{Class: op, Prob: opCue(ctx.Tokens, op)})
+	}
+	return temper(m, out)
+}
+
+// WhereValue proposes type-compatible tagged literals, discounting ones
+// already used in earlier predicates.
+func (m *LexicalModel) WhereValue(ctx *Context, col sqlir.ColumnRef, op sqlir.Op) []Scored[sqlir.Value] {
+	ty, _ := ctx.Schema.Resolve(col)
+	used := map[string]int{}
+	if ctx.Query != nil {
+		for _, p := range ctx.Query.Where.Preds {
+			if p.ValSet {
+				used[p.Val.String()]++
+			}
+		}
+	}
+	var out []Scored[sqlir.Value]
+	for _, l := range ctx.Literals {
+		if op == sqlir.OpLike {
+			if l.Kind != sqlir.KindText {
+				continue
+			}
+		} else if l.Type() != ty {
+			continue
+		}
+		v := l
+		if op == sqlir.OpLike {
+			v = sqlir.NewText("%" + l.Text + "%")
+		}
+		p := 1.0
+		if used[v.String()] > 0 {
+			p = 0.3
+		}
+		out = append(out, Scored[sqlir.Value]{Class: v, Prob: p})
+	}
+	return temper(m, out)
+}
+
+// HavingPresent uses comparative cues plus unused numeric literals.
+func (m *LexicalModel) HavingPresent(ctx *Context) []Scored[bool] {
+	h := havingCue(ctx.Tokens, len(ctx.NumericLiterals()))
+	return temper(m, []Scored[bool]{
+		{Class: false, Prob: 1 - h},
+		{Class: true, Prob: h},
+	})
+}
+
+// HavingAggCol favours COUNT(*) (the overwhelmingly common case), with
+// numeric-column aggregates as alternatives.
+func (m *LexicalModel) HavingAggCol(ctx *Context) []Scored[AggCol] {
+	out := []Scored[AggCol]{{Class: AggCol{Agg: sqlir.AggCount, Col: sqlir.Star}, Prob: 0.7}}
+	for _, t := range candidateTables(ctx) {
+		for _, c := range t.Columns {
+			if c.Type != sqlir.TypeNumber {
+				continue
+			}
+			ref := sqlir.ColumnRef{Table: t.Name, Column: c.Name}
+			base := columnScore(ctx, t, c)
+			for _, agg := range []sqlir.AggFunc{sqlir.AggSum, sqlir.AggAvg, sqlir.AggMax, sqlir.AggMin} {
+				out = append(out, Scored[AggCol]{
+					Class: AggCol{Agg: agg, Col: ref},
+					Prob:  0.3 * base * aggCue(ctx.Tokens, agg),
+				})
+			}
+		}
+	}
+	return temper(m, out)
+}
+
+// HavingOp reuses the operator cues; equality is rare in HAVING.
+func (m *LexicalModel) HavingOp(ctx *Context) []Scored[sqlir.Op] {
+	var out []Scored[sqlir.Op]
+	for _, op := range []sqlir.Op{sqlir.OpEq, sqlir.OpNe, sqlir.OpLt, sqlir.OpGt, sqlir.OpLe, sqlir.OpGe} {
+		p := opCue(ctx.Tokens, op)
+		if op == sqlir.OpEq {
+			p *= 0.3
+		}
+		out = append(out, Scored[sqlir.Op]{Class: op, Prob: p})
+	}
+	return temper(m, out)
+}
+
+// HavingValue proposes numeric literals.
+func (m *LexicalModel) HavingValue(ctx *Context) []Scored[sqlir.Value] {
+	var out []Scored[sqlir.Value]
+	for _, l := range ctx.NumericLiterals() {
+		out = append(out, Scored[sqlir.Value]{Class: l, Prob: 1})
+	}
+	return temper(m, out)
+}
+
+// OrderKey proposes projected columns, COUNT(*) under grouping, aggregated
+// projections, and lexical matches among join-path columns.
+func (m *LexicalModel) OrderKey(ctx *Context) []Scored[AggCol] {
+	var out []Scored[AggCol]
+	grouped := ctx.Query != nil && ctx.Query.GroupByState != sqlir.ClauseAbsent
+	seen := map[string]bool{}
+	add := func(ac AggCol, p float64) {
+		k := ac.Agg.String() + "|" + ac.Col.String()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, Scored[AggCol]{Class: ac, Prob: p})
+	}
+	if ctx.Query != nil {
+		for _, s := range ctx.Query.Select {
+			if !s.Complete() {
+				continue
+			}
+			p := 0.5
+			if s.Agg != sqlir.AggNone {
+				p = 0.7 // "most publications" usually orders by the count
+			}
+			add(AggCol{Agg: s.Agg, Col: s.Col}, p)
+		}
+	}
+	if grouped {
+		add(AggCol{Agg: sqlir.AggCount, Col: sqlir.Star}, 0.45)
+	}
+	for _, t := range candidateTables(ctx) {
+		for _, c := range t.Columns {
+			ref := sqlir.ColumnRef{Table: t.Name, Column: c.Name}
+			p := 0.4 * columnScore(ctx, t, c)
+			if !grouped {
+				add(AggCol{Agg: sqlir.AggNone, Col: ref}, p)
+			}
+		}
+	}
+	return temper(m, out)
+}
+
+// OrderDir decides direction and limit together: limit candidates come from
+// small numeric literals plus 1 when a superlative cue appears.
+func (m *LexicalModel) OrderDir(ctx *Context) []Scored[DirLimit] {
+	d := descCue(ctx.Tokens)
+	limits := []int{0}
+	if containsAny(ctx.Tokens, "top", "first", "most", "least", "highest", "lowest", "best") {
+		limits = append(limits, 1)
+	}
+	for _, l := range ctx.NumericLiterals() {
+		n := int(l.Num)
+		if float64(n) == l.Num && n >= 1 && n <= 100 {
+			dup := false
+			for _, x := range limits {
+				if x == n {
+					dup = true
+				}
+			}
+			if !dup {
+				limits = append(limits, n)
+			}
+		}
+	}
+	hasLimitCue := containsAny(ctx.Tokens, "top", "first") && len(limits) > 1
+	var out []Scored[DirLimit]
+	for _, lim := range limits {
+		pl := 0.75
+		if lim > 0 {
+			pl = 0.25 / float64(len(limits)-1)
+			if hasLimitCue {
+				pl = 0.6 / float64(len(limits)-1)
+			}
+		} else if hasLimitCue {
+			pl = 0.4
+		}
+		out = append(out,
+			Scored[DirLimit]{Class: DirLimit{Desc: true, Limit: lim}, Prob: pl * d},
+			Scored[DirLimit]{Class: DirLimit{Desc: false, Limit: lim}, Prob: pl * (1 - d)},
+		)
+	}
+	return temper(m, out)
+}

@@ -1,0 +1,166 @@
+package simulate
+
+import (
+	"testing"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/dataset"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+func TestSystemString(t *testing.T) {
+	if SystemDuoquest.String() != "Duoquest" || SystemNLI.String() != "NLI" || SystemPBE.String() != "PBE" {
+		t.Error("system names")
+	}
+}
+
+func TestRunTrialDuoquestSucceedsOnEasyTask(t *testing.T) {
+	tasks, _ := dataset.PBEStudyTasks()
+	r := NewRunner()
+	// D2 is a single-table medium task Duoquest solves quickly.
+	var d2 *dataset.Task
+	for _, task := range tasks {
+		if task.ID == "D2" {
+			d2 = task
+		}
+	}
+	tr, err := r.RunTrial(d2, SystemDuoquest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Success {
+		t.Errorf("D2 should succeed: %+v", tr)
+	}
+	if tr.Duration <= 0 || tr.Duration > r.Params.Budget {
+		t.Errorf("duration out of range: %v", tr.Duration)
+	}
+	if tr.Examples < 1 || tr.Examples > 2 {
+		t.Errorf("Duoquest uses 1-2 examples: %d", tr.Examples)
+	}
+}
+
+func TestRunTrialDeterministicPerUser(t *testing.T) {
+	tasks, _ := dataset.PBEStudyTasks()
+	r := NewRunner()
+	a, err := r.RunTrial(tasks[0], SystemDuoquest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunTrial(tasks[0], SystemDuoquest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Success != b.Success || a.Duration != b.Duration || a.Examples != b.Examples {
+		t.Errorf("same user+task should be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunTrialPBE(t *testing.T) {
+	tasks, _ := dataset.PBEStudyTasks()
+	r := NewRunner()
+	// D2 (continent filter) is squarely in SQuID's wheelhouse.
+	var d2, d3 *dataset.Task
+	for _, task := range tasks {
+		switch task.ID {
+		case "D2":
+			d2 = task
+		case "D3":
+			d3 = task
+		}
+	}
+	tr, err := r.RunTrial(d2, SystemPBE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Success {
+		t.Errorf("PBE should handle D2: %+v", tr)
+	}
+	if tr.Examples < 2 {
+		t.Errorf("PBE users enter at least 2 examples: %d", tr.Examples)
+	}
+	// D3 (grouped count threshold) is harder for PBE's single-shot output;
+	// just assert the trial completes without error.
+	if _, err := r.RunTrial(d3, SystemPBE, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsMatch(t *testing.T) {
+	text := sqlir.NewText
+	num := sqlir.NewNumber
+	mk := func(rows ...[]sqlir.Value) *sqlexec.Result {
+		return &sqlexec.Result{Types: []sqlir.Type{sqlir.TypeText, sqlir.TypeNumber}, Rows: rows}
+	}
+	a := mk([]sqlir.Value{text("x"), num(1)}, []sqlir.Value{text("y"), num(2)})
+	b := mk([]sqlir.Value{text("y"), num(2)}, []sqlir.Value{text("x"), num(1)})
+	if !resultsMatch(a, b, false) {
+		t.Error("unordered match should ignore row order")
+	}
+	if resultsMatch(a, b, true) {
+		t.Error("ordered match should respect row order")
+	}
+	if !resultsMatch(a, a, true) {
+		t.Error("identical ordered results match")
+	}
+	c := mk([]sqlir.Value{text("x"), num(1)})
+	if resultsMatch(a, c, false) {
+		t.Error("row count must match")
+	}
+	d := &sqlexec.Result{Types: []sqlir.Type{sqlir.TypeText}, Rows: [][]sqlir.Value{{text("x")}}}
+	if resultsMatch(c, d, false) {
+		t.Error("column types must match")
+	}
+}
+
+// TestStudyShape runs a reduced NLI study and checks the paper's headline
+// relationships: Duoquest's overall success strictly exceeds NLI's, and
+// Duoquest succeeds on the hard tasks where NLI scores zero.
+func TestStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study simulation is slow")
+	}
+	tasks, _ := dataset.NLIStudyTasks()
+	r := NewRunner()
+	r.Params.SynthBudget = 1500 * time.Millisecond
+	sr, err := r.RunStudy(tasks, [2]System{SystemDuoquest, SystemNLI}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dqOK, dqTotal := sr.OverallSuccess(SystemDuoquest)
+	nliOK, nliTotal := sr.OverallSuccess(SystemNLI)
+	if dqTotal == 0 || nliTotal == 0 {
+		t.Fatal("no trials recorded")
+	}
+	dqPct := float64(dqOK) / float64(dqTotal)
+	nliPct := float64(nliOK) / float64(nliTotal)
+	if dqPct <= nliPct {
+		t.Errorf("Duoquest (%.0f%%) should beat NLI (%.0f%%)", 100*dqPct, 100*nliPct)
+	}
+	if dqPct < 0.5 {
+		t.Errorf("Duoquest overall success too low: %.0f%%", 100*dqPct)
+	}
+	// Counterbalancing: every task × system has trials.
+	for _, task := range sr.Tasks {
+		for _, sys := range sr.Systems {
+			if _, ok := sr.SuccessPct[task][sys]; !ok {
+				t.Errorf("missing trials for %s on %s", task, sys)
+			}
+		}
+	}
+}
+
+func TestSortTuplesByGold(t *testing.T) {
+	tasks, _ := dataset.MASTasks()
+	var a2 *dataset.Task
+	for _, task := range tasks {
+		if task.ID == "A2" {
+			a2 = task
+		}
+	}
+	// RunTrial on a sorted task exercises sortTuplesByGold internally.
+	r := NewRunner()
+	if _, err := r.RunTrial(a2, SystemDuoquest, 2); err != nil {
+		t.Fatal(err)
+	}
+}

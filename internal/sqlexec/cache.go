@@ -1,0 +1,79 @@
+package sqlexec
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// JoinCache memoizes materialized join paths so the verifier's many
+// verification queries over the same FROM clause share one join computation
+// (§3.4's cost concern: executing verification queries dominates). A cache
+// is bound to one database snapshot and is not safe for concurrent use.
+type JoinCache struct {
+	db *storage.Database
+	m  map[string]*relation
+}
+
+// NewJoinCache builds a cache for a database.
+func NewJoinCache(db *storage.Database) *JoinCache {
+	return &JoinCache{db: db, m: map[string]*relation{}}
+}
+
+// Size returns the number of cached join paths.
+func (c *JoinCache) Size() int { return len(c.m) }
+
+// joinSig canonically identifies a join path (table set + edge set).
+func joinSig(jp *sqlir.JoinPath) string {
+	if jp == nil {
+		return ""
+	}
+	tables := append([]string{}, jp.Tables...)
+	sort.Strings(tables)
+	edges := make([]string, len(jp.Edges))
+	for i, e := range jp.Edges {
+		a := e.FromTable + "." + e.FromColumn
+		b := e.ToTable + "." + e.ToColumn
+		if a > b {
+			a, b = b, a
+		}
+		edges[i] = a + "=" + b
+	}
+	sort.Strings(edges)
+	return strings.Join(tables, ",") + "|" + strings.Join(edges, "&")
+}
+
+// materialize returns the (cached) joined relation for a path.
+func (c *JoinCache) materialize(jp *sqlir.JoinPath) (*relation, error) {
+	sig := joinSig(jp)
+	if rel, ok := c.m[sig]; ok {
+		return rel, nil
+	}
+	rel, err := join(c.db, jp)
+	if err != nil {
+		return nil, err
+	}
+	c.m[sig] = rel
+	return rel, nil
+}
+
+// Exists is Exists with join memoization.
+func (c *JoinCache) Exists(eq ExistsQuery) (bool, error) {
+	for _, p := range eq.Preds {
+		if !p.Complete() {
+			return false, errIncomplete(p)
+		}
+	}
+	for _, p := range eq.AndPreds {
+		if !p.Complete() {
+			return false, errIncomplete(p)
+		}
+	}
+	rel, err := c.materialize(eq.From)
+	if err != nil {
+		return false, err
+	}
+	return existsOn(c.db, rel, eq)
+}

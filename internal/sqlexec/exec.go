@@ -1,0 +1,399 @@
+// Package sqlexec executes complete SPJA queries (the paper's task scope,
+// §2.5) against the in-memory storage engine: inner FK-PK joins, flat AND/OR
+// selection, grouping with the five aggregates, HAVING, ORDER BY, LIMIT and
+// DISTINCT. The verifier's column-wise and row-wise verification queries
+// (Examples 3.5 and 3.6) run through the same engine via Exists.
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Types   []sqlir.Type
+	Rows    [][]sqlir.Value
+}
+
+// tuple is one joined row: per-slot row indexes into the slot's table.
+// Index-based tuples keep join materialization allocation-light.
+type tuple []int32
+
+// relation is a working set of joined rows plus the table→slot map.
+type relation struct {
+	slots  map[string]int
+	tables []*storage.Table // per slot
+	tuples []tuple
+}
+
+// Execute runs a complete query and materializes its result.
+func Execute(db *storage.Database, q *sqlir.Query) (*Result, error) {
+	if q == nil || !q.Complete() {
+		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
+	}
+	rel, err := join(db, q.From)
+	if err != nil {
+		return nil, err
+	}
+	return executeOn(db, rel, q)
+}
+
+// ExecuteCached runs a complete query reusing the cache's materialized join.
+func (c *JoinCache) Execute(q *sqlir.Query) (*Result, error) {
+	if q == nil || !q.Complete() {
+		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
+	}
+	rel, err := c.materialize(q.From)
+	if err != nil {
+		return nil, err
+	}
+	return executeOn(c.db, rel, q)
+}
+
+// executeOn evaluates a complete query over a pre-joined relation.
+func executeOn(db *storage.Database, rel *relation, q *sqlir.Query) (*Result, error) {
+	rows, err := filter(db, rel, q.Where, q.WhereState)
+	if err != nil {
+		return nil, err
+	}
+
+	needsGroup := q.GroupByState == sqlir.ClausePresent || q.HasAggregate() ||
+		(q.OrderByState == sqlir.ClausePresent && q.OrderBy.Key.Agg != sqlir.AggNone)
+
+	res := &Result{}
+	for _, s := range q.Select {
+		res.Columns = append(res.Columns, s.String())
+		ty, ok := db.Schema.Resolve(s.Col)
+		if !ok {
+			return nil, fmt.Errorf("sqlexec: unknown column %s", s.Col)
+		}
+		res.Types = append(res.Types, s.Agg.ResultType(ty))
+	}
+
+	type outRow struct {
+		vals     []sqlir.Value
+		orderKey sqlir.Value
+	}
+	var out []outRow
+
+	if needsGroup {
+		groups, err := groupRows(db, rel, rows, q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			if q.HavingState == sqlir.ClausePresent {
+				hv, err := evalAggregate(db, rel, g, q.Having.Agg, q.Having.Col)
+				if err != nil {
+					return nil, err
+				}
+				if !q.Having.Op.Eval(hv, q.Having.Val) {
+					continue
+				}
+			}
+			r := outRow{}
+			for _, s := range q.Select {
+				v, err := evalAggregate(db, rel, g, s.Agg, s.Col)
+				if err != nil {
+					return nil, err
+				}
+				r.vals = append(r.vals, v)
+			}
+			if q.OrderByState == sqlir.ClausePresent {
+				v, err := evalAggregate(db, rel, g, q.OrderBy.Key.Agg, q.OrderBy.Key.Col)
+				if err != nil {
+					return nil, err
+				}
+				r.orderKey = v
+			}
+			out = append(out, r)
+		}
+	} else {
+		for _, tp := range rows {
+			r := outRow{}
+			for _, s := range q.Select {
+				v, err := colValue(db, rel, tp, s.Col)
+				if err != nil {
+					return nil, err
+				}
+				r.vals = append(r.vals, v)
+			}
+			if q.OrderByState == sqlir.ClausePresent {
+				v, err := colValue(db, rel, tp, q.OrderBy.Key.Col)
+				if err != nil {
+					return nil, err
+				}
+				r.orderKey = v
+			}
+			out = append(out, r)
+		}
+	}
+
+	if q.Distinct {
+		seen := map[string]bool{}
+		dedup := out[:0]
+		for _, r := range out {
+			k := rowKey(r.vals)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, r)
+		}
+		out = dedup
+	}
+
+	if q.OrderByState == sqlir.ClausePresent {
+		desc := q.OrderBy.Desc
+		sort.SliceStable(out, func(i, j int) bool {
+			c := out[i].orderKey.Compare(out[j].orderKey)
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+
+	if q.LimitSet && q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+
+	res.Rows = make([][]sqlir.Value, len(out))
+	for i, r := range out {
+		res.Rows[i] = r.vals
+	}
+	return res, nil
+}
+
+// join materializes the join path into a relation of joined tuples using
+// hash joins on the FK-PK edges.
+func join(db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
+	if jp == nil || len(jp.Tables) == 0 {
+		return nil, fmt.Errorf("sqlexec: empty join path")
+	}
+	rel := &relation{slots: map[string]int{}}
+	t0 := db.Table(jp.Tables[0])
+	if t0 == nil {
+		return nil, fmt.Errorf("sqlexec: unknown table %s", jp.Tables[0])
+	}
+	rel.slots[t0.Name] = 0
+	rel.tables = append(rel.tables, t0)
+	rel.tuples = make([]tuple, t0.NumRows())
+	for i := range rel.tuples {
+		rel.tuples[i] = tuple{int32(i)}
+	}
+	for _, e := range jp.Edges {
+		var existing, incoming string
+		if _, ok := rel.slots[e.FromTable]; ok {
+			existing, incoming = e.FromTable, e.ToTable
+		} else if _, ok := rel.slots[e.ToTable]; ok {
+			existing, incoming = e.ToTable, e.FromTable
+		} else {
+			return nil, fmt.Errorf("sqlexec: join edge %s disconnected from path", e)
+		}
+		if _, dup := rel.slots[incoming]; dup {
+			return nil, fmt.Errorf("sqlexec: table %s joined twice", incoming)
+		}
+		nt := db.Table(incoming)
+		if nt == nil {
+			return nil, fmt.Errorf("sqlexec: unknown table %s", incoming)
+		}
+		exCol, inCol := e.FromColumn, e.ToColumn
+		if existing == e.ToTable {
+			exCol, inCol = e.ToColumn, e.FromColumn
+		}
+		exTbl := db.Table(existing)
+		exIdx := exTbl.ColumnIndex(exCol)
+		inIdx := nt.ColumnIndex(inCol)
+		if exIdx < 0 || inIdx < 0 {
+			return nil, fmt.Errorf("sqlexec: join edge %s references unknown column", e)
+		}
+		// Hash the incoming table on its join column.
+		index := map[sqlir.Value][]int32{}
+		for ri, row := range nt.Rows() {
+			v := row[inIdx]
+			if v.IsNull() {
+				continue
+			}
+			index[v] = append(index[v], int32(ri))
+		}
+		slot := len(rel.slots)
+		rel.slots[incoming] = slot
+		rel.tables = append(rel.tables, nt)
+		exSlot := rel.slots[existing]
+		exRows := rel.tables[exSlot]
+		var next []tuple
+		for _, tp := range rel.tuples {
+			v := exRows.Row(int(tp[exSlot]))[exIdx]
+			if v.IsNull() {
+				continue
+			}
+			for _, m := range index[v] {
+				ext := make(tuple, len(tp)+1)
+				copy(ext, tp)
+				ext[slot] = m
+				next = append(next, ext)
+			}
+		}
+		rel.tuples = next
+	}
+	return rel, nil
+}
+
+// colValue resolves a column reference against a joined tuple.
+func colValue(db *storage.Database, rel *relation, tp tuple, c sqlir.ColumnRef) (sqlir.Value, error) {
+	slot, ok := rel.slots[c.Table]
+	if !ok {
+		return sqlir.Null(), fmt.Errorf("sqlexec: column %s not in join path", c)
+	}
+	tbl := rel.tables[slot]
+	ci := tbl.ColumnIndex(c.Column)
+	if ci < 0 {
+		return sqlir.Null(), fmt.Errorf("sqlexec: unknown column %s", c)
+	}
+	return tbl.Row(int(tp[slot]))[ci], nil
+}
+
+// filter applies the WHERE clause.
+func filter(db *storage.Database, rel *relation, w sqlir.Where, state sqlir.ClauseState) ([]tuple, error) {
+	if state != sqlir.ClausePresent || len(w.Preds) == 0 {
+		return rel.tuples, nil
+	}
+	var out []tuple
+	for _, tp := range rel.tuples {
+		ok, err := evalWhere(db, rel, tp, w)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, tp)
+		}
+	}
+	return out, nil
+}
+
+// evalWhere evaluates the flat conjunction/disjunction on one tuple.
+func evalWhere(db *storage.Database, rel *relation, tp tuple, w sqlir.Where) (bool, error) {
+	and := w.Conj == sqlir.LogicAnd || len(w.Preds) == 1
+	for _, p := range w.Preds {
+		v, err := colValue(db, rel, tp, p.Col)
+		if err != nil {
+			return false, err
+		}
+		hit := p.Op.Eval(v, p.Val)
+		if and && !hit {
+			return false, nil
+		}
+		if !and && hit {
+			return true, nil
+		}
+	}
+	return and, nil
+}
+
+// groupRows partitions tuples by the GROUP BY key. With no GROUP BY columns
+// (pure aggregate query) all rows form a single group; with zero input rows
+// a pure aggregate query still yields one empty group, matching SQL.
+func groupRows(db *storage.Database, rel *relation, rows []tuple, groupBy []sqlir.ColumnRef) ([][]tuple, error) {
+	if len(groupBy) == 0 {
+		return [][]tuple{rows}, nil
+	}
+	order := []string{}
+	groups := map[string][]tuple{}
+	for _, tp := range rows {
+		key := ""
+		for _, g := range groupBy {
+			v, err := colValue(db, rel, tp, g)
+			if err != nil {
+				return nil, err
+			}
+			key += v.String() + "\x00"
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], tp)
+	}
+	out := make([][]tuple, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out, nil
+}
+
+// evalAggregate computes agg(col) over a group. AggNone returns the first
+// row's value (the column is expected to be in the GROUP BY key).
+func evalAggregate(db *storage.Database, rel *relation, group []tuple, agg sqlir.AggFunc, col sqlir.ColumnRef) (sqlir.Value, error) {
+	if agg == sqlir.AggNone {
+		if len(group) == 0 {
+			return sqlir.Null(), nil
+		}
+		return colValue(db, rel, group[0], col)
+	}
+	if agg == sqlir.AggCount && col.IsStar() {
+		return sqlir.NewInt(len(group)), nil
+	}
+	var (
+		count int
+		sum   float64
+		min   sqlir.Value
+		max   sqlir.Value
+	)
+	for _, tp := range group {
+		v, err := colValue(db, rel, tp, col)
+		if err != nil {
+			return sqlir.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if count == 0 {
+			min, max = v, v
+		} else {
+			if v.Less(min) {
+				min = v
+			}
+			if max.Less(v) {
+				max = v
+			}
+		}
+		if v.Kind == sqlir.KindNumber {
+			sum += v.Num
+		}
+		count++
+	}
+	switch agg {
+	case sqlir.AggCount:
+		return sqlir.NewInt(count), nil
+	case sqlir.AggMin:
+		return min, nil
+	case sqlir.AggMax:
+		return max, nil
+	case sqlir.AggSum:
+		if count == 0 {
+			return sqlir.Null(), nil
+		}
+		return sqlir.NewNumber(sum), nil
+	case sqlir.AggAvg:
+		if count == 0 {
+			return sqlir.Null(), nil
+		}
+		return sqlir.NewNumber(sum / float64(count)), nil
+	default:
+		return sqlir.Null(), fmt.Errorf("sqlexec: unknown aggregate %v", agg)
+	}
+}
+
+// rowKey renders a row for DISTINCT deduplication.
+func rowKey(vals []sqlir.Value) string {
+	k := ""
+	for _, v := range vals {
+		k += v.String() + "\x00"
+	}
+	return k
+}

@@ -1,0 +1,308 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+func text(s string) sqlir.Value { return sqlir.NewText(s) }
+func num(f float64) sqlir.Value { return sqlir.NewNumber(f) }
+
+// movieDB builds the §2 movie database with the motivating example's data.
+func movieDB() *storage.Database {
+	actor := storage.NewTable("actor", "aid",
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "gender", Type: sqlir.TypeText},
+		storage.Column{Name: "birth_yr", Type: sqlir.TypeNumber},
+	)
+	movie := storage.NewTable("movie", "mid",
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "title", Type: sqlir.TypeText},
+		storage.Column{Name: "year", Type: sqlir.TypeNumber},
+		storage.Column{Name: "revenue", Type: sqlir.TypeNumber},
+	)
+	starring := storage.NewTable("starring", "sid",
+		storage.Column{Name: "sid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+	)
+	s := storage.NewSchema(actor, movie, starring)
+	s.AddForeignKey("starring", "aid", "actor", "aid")
+	s.AddForeignKey("starring", "mid", "movie", "mid")
+
+	actor.MustInsert(num(1), text("Tom Hanks"), text("male"), num(1956))
+	actor.MustInsert(num(2), text("Sandra Bullock"), text("female"), num(1964))
+	actor.MustInsert(num(3), text("Brad Pitt"), text("male"), num(1963))
+
+	movie.MustInsert(num(1), text("Forrest Gump"), num(1994), num(678))
+	movie.MustInsert(num(2), text("Gravity"), num(2013), num(723))
+	movie.MustInsert(num(3), text("Fight Club"), num(1999), num(101))
+	movie.MustInsert(num(4), text("Cast Away"), num(2000), num(429))
+
+	starring.MustInsert(num(1), num(1), num(1)) // Hanks in Forrest Gump
+	starring.MustInsert(num(2), num(2), num(2)) // Bullock in Gravity
+	starring.MustInsert(num(3), num(3), num(3)) // Pitt in Fight Club
+	starring.MustInsert(num(4), num(1), num(4)) // Hanks in Cast Away
+
+	return storage.NewDatabase("movies", s)
+}
+
+func run(t *testing.T, db *storage.Database, sql string) *Result {
+	t.Helper()
+	q, err := sqlparse.Parse(db.Schema, sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := Execute(db, q)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func TestExecuteProjection(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title, year FROM movie")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Types[0] != sqlir.TypeText || res.Types[1] != sqlir.TypeNumber {
+		t.Errorf("types = %v", res.Types)
+	}
+	if !res.Rows[0][0].Equal(text("Forrest Gump")) {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+}
+
+func TestExecuteWhereEq(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title FROM movie WHERE year = 1994")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(text("Forrest Gump")) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteWhereOr(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title FROM movie WHERE year < 1995 OR year > 2000")
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteWhereAnd(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title FROM movie WHERE year > 1995 AND revenue < 200")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(text("Fight Club")) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteLike(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title FROM movie WHERE title LIKE '%gump%'")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(text("Forrest Gump")) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteTwoHopJoin(t *testing.T) {
+	res := run(t, movieDB(),
+		"SELECT m.title, a.name FROM actor a JOIN starring s ON a.aid = s.aid JOIN movie m ON s.mid = m.mid WHERE a.name = 'Tom Hanks'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	titles := map[string]bool{}
+	for _, r := range res.Rows {
+		titles[r[0].Text] = true
+	}
+	if !titles["Forrest Gump"] || !titles["Cast Away"] {
+		t.Errorf("titles = %v", titles)
+	}
+}
+
+// TestExecuteMotivatingExample reproduces the paper's §2 example: CQ3
+// returns Forrest Gump (male actor, pre-1995) and Gravity (post-2000),
+// while CQ1 excludes Gravity (Sandra Bullock is not male).
+func TestExecuteMotivatingExample(t *testing.T) {
+	db := movieDB()
+	cq1 := "SELECT m.title, a.name, m.year FROM actor a JOIN starring s ON a.aid = s.aid JOIN movie m ON s.mid = m.mid " +
+		"WHERE a.gender = 'male' AND year < 1995 ORDER BY m.year ASC"
+	res := run(t, db, cq1)
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(text("Forrest Gump")) {
+		t.Errorf("CQ1-style rows = %v", res.Rows)
+	}
+	cq3ish := "SELECT m.title, a.name, m.year FROM actor a JOIN starring s ON a.aid = s.aid JOIN movie m ON s.mid = m.mid " +
+		"WHERE m.year < 1995 OR m.year > 2000 ORDER BY m.year ASC"
+	res = run(t, db, cq3ish)
+	if len(res.Rows) != 2 {
+		t.Fatalf("CQ3-style rows = %v", res.Rows)
+	}
+	if !res.Rows[0][0].Equal(text("Forrest Gump")) || !res.Rows[1][0].Equal(text("Gravity")) {
+		t.Errorf("order wrong: %v", res.Rows)
+	}
+}
+
+func TestExecuteAggregatesNoGroup(t *testing.T) {
+	res := run(t, movieDB(), "SELECT COUNT(*), MIN(year), MAX(year), SUM(revenue), AVG(revenue) FROM movie")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	r := res.Rows[0]
+	if !r[0].Equal(num(4)) || !r[1].Equal(num(1994)) || !r[2].Equal(num(2013)) {
+		t.Errorf("count/min/max = %v", r)
+	}
+	if !r[3].Equal(num(678 + 723 + 101 + 429)) {
+		t.Errorf("sum = %v", r[3])
+	}
+	if !r[4].Equal(num((678.0 + 723 + 101 + 429) / 4)) {
+		t.Errorf("avg = %v", r[4])
+	}
+}
+
+func TestExecuteCountColumnSkipsNulls(t *testing.T) {
+	db := movieDB()
+	db.Table("movie").MustInsert(num(9), text("Null Movie"), sqlir.Null(), sqlir.Null())
+	res := run(t, db, "SELECT COUNT(year), COUNT(*) FROM movie")
+	if !res.Rows[0][0].Equal(num(4)) || !res.Rows[0][1].Equal(num(5)) {
+		t.Errorf("counts = %v", res.Rows[0])
+	}
+}
+
+func TestExecuteGroupBy(t *testing.T) {
+	res := run(t, movieDB(),
+		"SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid GROUP BY a.name")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	counts := map[string]float64{}
+	for _, r := range res.Rows {
+		counts[r[0].Text] = r[1].Num
+	}
+	if counts["Tom Hanks"] != 2 || counts["Sandra Bullock"] != 1 || counts["Brad Pitt"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestExecuteHaving(t *testing.T) {
+	res := run(t, movieDB(),
+		"SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid GROUP BY a.name HAVING COUNT(*) > 1")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(text("Tom Hanks")) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteOrderByAsc(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title, year FROM movie ORDER BY year ASC")
+	years := []float64{}
+	for _, r := range res.Rows {
+		years = append(years, r[1].Num)
+	}
+	for i := 1; i < len(years); i++ {
+		if years[i-1] > years[i] {
+			t.Fatalf("not ascending: %v", years)
+		}
+	}
+}
+
+func TestExecuteOrderByDescLimit(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title FROM movie ORDER BY revenue DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[0][0].Equal(text("Gravity")) || !res.Rows[1][0].Equal(text("Forrest Gump")) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteOrderByAggregate(t *testing.T) {
+	res := run(t, movieDB(),
+		"SELECT a.name FROM actor a JOIN starring s ON a.aid = s.aid GROUP BY a.name ORDER BY COUNT(*) DESC LIMIT 1")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(text("Tom Hanks")) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteDistinct(t *testing.T) {
+	res := run(t, movieDB(), "SELECT DISTINCT a.gender FROM actor a")
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteEmptyResult(t *testing.T) {
+	res := run(t, movieDB(), "SELECT title FROM movie WHERE year > 3000")
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteAggregateOverEmpty(t *testing.T) {
+	res := run(t, movieDB(), "SELECT COUNT(*), SUM(revenue) FROM movie WHERE year > 3000")
+	if len(res.Rows) != 1 {
+		t.Fatalf("aggregate over empty should yield one row: %v", res.Rows)
+	}
+	if !res.Rows[0][0].Equal(num(0)) || !res.Rows[0][1].IsNull() {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestExecuteNullJoinKeysDropped(t *testing.T) {
+	db := movieDB()
+	db.Table("starring").MustInsert(num(9), sqlir.Null(), num(1))
+	res := run(t, db, "SELECT a.name FROM actor a JOIN starring s ON a.aid = s.aid")
+	if len(res.Rows) != 4 {
+		t.Errorf("null join keys must not match: %v", res.Rows)
+	}
+}
+
+func TestExecuteIncompleteQueryRejected(t *testing.T) {
+	q := sqlir.NewQuery()
+	if _, err := Execute(movieDB(), q); err == nil {
+		t.Error("incomplete query should be rejected")
+	}
+	if _, err := Execute(movieDB(), nil); err == nil {
+		t.Error("nil query should be rejected")
+	}
+}
+
+func TestExecuteUnknownTableInPath(t *testing.T) {
+	db := movieDB()
+	q := sqlparse.MustParse(db.Schema, "SELECT title FROM movie")
+	q.From.Tables[0] = "nope"
+	if _, err := Execute(db, q); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecuteDisconnectedEdge(t *testing.T) {
+	db := movieDB()
+	q := sqlparse.MustParse(db.Schema, "SELECT title FROM movie")
+	q.From.Tables = append(q.From.Tables, "actor")
+	q.From.Edges = append(q.From.Edges, sqlir.JoinEdge{
+		FromTable: "starring", FromColumn: "aid", ToTable: "actor", ToColumn: "aid",
+	})
+	if _, err := Execute(db, q); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecuteColumnOutsidePath(t *testing.T) {
+	db := movieDB()
+	q := sqlparse.MustParse(db.Schema, "SELECT title FROM movie")
+	q.Select[0].Col = sqlir.ColumnRef{Table: "actor", Column: "name"}
+	if _, err := Execute(db, q); err == nil || !strings.Contains(err.Error(), "not in join path") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecuteOrderStability(t *testing.T) {
+	// Rows with equal keys keep their base order (stable sort).
+	db := movieDB()
+	db.Table("movie").MustInsert(num(5), text("Twin A"), num(2010), num(1))
+	db.Table("movie").MustInsert(num(6), text("Twin B"), num(2010), num(1))
+	res := run(t, db, "SELECT title FROM movie WHERE year = 2010 ORDER BY year ASC")
+	if !res.Rows[0][0].Equal(text("Twin A")) || !res.Rows[1][0].Equal(text("Twin B")) {
+		t.Errorf("stability broken: %v", res.Rows)
+	}
+}

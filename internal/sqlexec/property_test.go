@@ -1,0 +1,202 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// randomDB builds a seeded single-table database for property tests.
+func randomDB(seed int64, rows int) *storage.Database {
+	r := rand.New(rand.NewSource(seed))
+	items := storage.NewTable("items", "id",
+		storage.Column{Name: "id", Type: sqlir.TypeNumber},
+		storage.Column{Name: "grp", Type: sqlir.TypeText},
+		storage.Column{Name: "val", Type: sqlir.TypeNumber},
+	)
+	for i := 0; i < rows; i++ {
+		items.MustInsert(
+			sqlir.NewInt(i),
+			sqlir.NewText(string(rune('a'+r.Intn(4)))),
+			sqlir.NewInt(r.Intn(100)),
+		)
+	}
+	return storage.NewDatabase("rand", storage.NewSchema(items))
+}
+
+func exec(t *testing.T, db *storage.Database, sql string) *Result {
+	t.Helper()
+	q, err := sqlparse.Parse(db.Schema, sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := Execute(db, q)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+// Property: selection is monotone — adding an AND predicate never grows the
+// result set, and the filtered set is a subset of the base.
+func TestPropSelectionMonotone(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 50)
+		base := exec(t, db, "SELECT id FROM items WHERE val > 20")
+		narrowed := exec(t, db, "SELECT id FROM items WHERE val > 20 AND val < 80")
+		if len(narrowed.Rows) > len(base.Rows) {
+			t.Fatalf("seed %d: narrowed %d > base %d", seed, len(narrowed.Rows), len(base.Rows))
+		}
+		baseIDs := map[float64]bool{}
+		for _, r := range base.Rows {
+			baseIDs[r[0].Num] = true
+		}
+		for _, r := range narrowed.Rows {
+			if !baseIDs[r[0].Num] {
+				t.Fatalf("seed %d: row %v not in base", seed, r)
+			}
+		}
+	}
+}
+
+// Property: OR is the union of its disjuncts.
+func TestPropOrIsUnion(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 50)
+		left := exec(t, db, "SELECT id FROM items WHERE val < 30")
+		right := exec(t, db, "SELECT id FROM items WHERE val > 70")
+		both := exec(t, db, "SELECT id FROM items WHERE val < 30 OR val > 70")
+		want := map[float64]bool{}
+		for _, r := range left.Rows {
+			want[r[0].Num] = true
+		}
+		for _, r := range right.Rows {
+			want[r[0].Num] = true
+		}
+		if len(both.Rows) != len(want) {
+			t.Fatalf("seed %d: OR size %d, union size %d", seed, len(both.Rows), len(want))
+		}
+	}
+}
+
+// Property: GROUP BY partitions — group COUNTs sum to the filtered row count.
+func TestPropGroupPartition(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 60)
+		all := exec(t, db, "SELECT COUNT(*) FROM items")
+		grouped := exec(t, db, "SELECT grp, COUNT(*) FROM items GROUP BY grp")
+		sum := 0.0
+		for _, r := range grouped.Rows {
+			sum += r[1].Num
+		}
+		if sum != all.Rows[0][0].Num {
+			t.Fatalf("seed %d: group counts sum %v != total %v", seed, sum, all.Rows[0][0].Num)
+		}
+	}
+}
+
+// Property: LIMIT k returns min(k, n) rows and a prefix of the unlimited
+// ordering.
+func TestPropLimitPrefix(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 30)
+		full := exec(t, db, "SELECT id FROM items ORDER BY val DESC")
+		for _, k := range []int{1, 3, 10, 100} {
+			lim := exec(t, db, fmt.Sprintf("SELECT id FROM items ORDER BY val DESC LIMIT %d", k))
+			want := k
+			if len(full.Rows) < k {
+				want = len(full.Rows)
+			}
+			if len(lim.Rows) != want {
+				t.Fatalf("seed %d k %d: got %d rows, want %d", seed, k, len(lim.Rows), want)
+			}
+			// Prefix check on the order key values (ids may tie on val,
+			// but stable sort makes the full prefix deterministic).
+			for i, r := range lim.Rows {
+				if !r[0].Equal(full.Rows[i][0]) {
+					t.Fatalf("seed %d k %d: row %d differs", seed, k, i)
+				}
+			}
+		}
+	}
+}
+
+// Property: ORDER BY yields a monotone key sequence.
+func TestPropOrderMonotone(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 40)
+		asc := exec(t, db, "SELECT val FROM items ORDER BY val ASC")
+		for i := 1; i < len(asc.Rows); i++ {
+			if asc.Rows[i-1][0].Compare(asc.Rows[i][0]) > 0 {
+				t.Fatalf("seed %d: ASC violated at %d", seed, i)
+			}
+		}
+		desc := exec(t, db, "SELECT val FROM items ORDER BY val DESC")
+		for i := 1; i < len(desc.Rows); i++ {
+			if desc.Rows[i-1][0].Compare(desc.Rows[i][0]) < 0 {
+				t.Fatalf("seed %d: DESC violated at %d", seed, i)
+			}
+		}
+	}
+}
+
+// Property: DISTINCT result has no duplicate rows and the same value set as
+// the non-distinct projection.
+func TestPropDistinct(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 50)
+		all := exec(t, db, "SELECT grp FROM items")
+		dis := exec(t, db, "SELECT DISTINCT grp FROM items")
+		seen := map[string]bool{}
+		for _, r := range dis.Rows {
+			k := r[0].String()
+			if seen[k] {
+				t.Fatalf("seed %d: duplicate %v in DISTINCT", seed, r)
+			}
+			seen[k] = true
+		}
+		for _, r := range all.Rows {
+			if !seen[r[0].String()] {
+				t.Fatalf("seed %d: value %v missing from DISTINCT", seed, r)
+			}
+		}
+	}
+}
+
+// Property: Exists(q) agrees with len(Execute(select-from-where)) > 0.
+func TestPropExistsAgreesWithExecute(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 30)
+		for _, cut := range []float64{-1, 25, 50, 75, 101} {
+			res := exec(t, db, fmt.Sprintf("SELECT id FROM items WHERE val > %g", cut))
+			ok, err := Exists(db, ExistsQuery{
+				From: pathOf("items"),
+				Preds: []sqlir.Predicate{
+					pred("items", "val", sqlir.OpGt, sqlir.NewNumber(cut)),
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (len(res.Rows) > 0) {
+				t.Fatalf("seed %d cut %g: exists %v vs rows %d", seed, cut, ok, len(res.Rows))
+			}
+		}
+	}
+}
+
+// Property: AVG lies within [MIN, MAX].
+func TestPropAvgWithinMinMax(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		db := randomDB(seed, 40)
+		res := exec(t, db, "SELECT MIN(val), AVG(val), MAX(val) FROM items")
+		r := res.Rows[0]
+		if r[1].Num < r[0].Num || r[1].Num > r[2].Num {
+			t.Fatalf("seed %d: AVG %v outside [%v, %v]", seed, r[1], r[0], r[2])
+		}
+	}
+}

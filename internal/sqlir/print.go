@@ -1,0 +1,92 @@
+package sqlir
+
+import "strings"
+
+// String renders the query as SQL text, with ? marking placeholders. The
+// rendering is deterministic and is used for display, logging, and (via
+// Canonical) for equality checks.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if !q.SelectCountSet && len(q.Select) == 0 {
+		b.WriteString("?")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+		if !q.SelectCountSet {
+			if len(q.Select) > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("...?")
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.From.String())
+	switch q.WhereState {
+	case ClausePending:
+		b.WriteString(" WHERE ?")
+	case ClausePresent:
+		b.WriteString(" WHERE ")
+		if !q.Where.CountSet && len(q.Where.Preds) == 0 {
+			b.WriteString("?")
+		}
+		for i, p := range q.Where.Preds {
+			if i > 0 {
+				conj := "?"
+				if q.Where.ConjSet {
+					conj = q.Where.Conj.String()
+				}
+				b.WriteString(" " + conj + " ")
+			}
+			b.WriteString(p.String())
+		}
+		if !q.Where.CountSet && len(q.Where.Preds) > 0 {
+			b.WriteString(" ...?")
+		}
+	}
+	switch q.GroupByState {
+	case ClausePending:
+		b.WriteString(" GROUP BY ?")
+	case ClausePresent:
+		b.WriteString(" GROUP BY ")
+		if len(q.GroupBy) == 0 {
+			b.WriteString("?")
+		}
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+		switch q.HavingState {
+		case ClausePending:
+			b.WriteString(" HAVING ?")
+		case ClausePresent:
+			b.WriteString(" HAVING ")
+			b.WriteString(q.Having.String())
+		}
+	}
+	switch q.OrderByState {
+	case ClausePending:
+		b.WriteString(" ORDER BY ?")
+	case ClausePresent:
+		b.WriteString(" ORDER BY ")
+		b.WriteString(q.OrderBy.String())
+	}
+	if q.LimitSet {
+		if q.Limit > 0 {
+			b.WriteString(" LIMIT ")
+			b.WriteString(FormatNumber(float64(q.Limit)))
+		}
+	} else if q.OrderByState != ClauseAbsent {
+		b.WriteString(" LIMIT ?")
+	}
+	return b.String()
+}

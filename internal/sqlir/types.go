@@ -1,0 +1,212 @@
+package sqlir
+
+import "fmt"
+
+// Type is a column (and TSQ annotation) data type. The paper's task scope
+// uses two concrete types: text and number (Table 2).
+type Type uint8
+
+const (
+	// TypeUnknown marks an undecided or unconstrained type.
+	TypeUnknown Type = iota
+	// TypeText is a string column.
+	TypeText
+	// TypeNumber is a numeric column.
+	TypeNumber
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeText:
+		return "text"
+	case TypeNumber:
+		return "number"
+	default:
+		return "unknown"
+	}
+}
+
+// AggFunc is an aggregate function applicable to a projection, HAVING
+// expression, or ORDER BY key (Table 3, AGG module).
+type AggFunc uint8
+
+const (
+	// AggNone means the column is projected unaggregated.
+	AggNone AggFunc = iota
+	AggMax
+	AggMin
+	AggCount
+	AggSum
+	AggAvg
+)
+
+// AllAggs lists every aggregate choice in module output order (None last so
+// slices of real aggregates can reuse the prefix).
+var AllAggs = []AggFunc{AggNone, AggMax, AggMin, AggCount, AggSum, AggAvg}
+
+// String returns the SQL keyword for the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(a))
+	}
+}
+
+// ResultType returns the type produced by applying the aggregate to a column
+// of type in. COUNT always yields a number; SUM/AVG yield numbers; MIN/MAX
+// preserve the input type; AggNone preserves the input type.
+func (a AggFunc) ResultType(in Type) Type {
+	switch a {
+	case AggCount:
+		return TypeNumber
+	case AggSum, AggAvg:
+		return TypeNumber
+	default:
+		return in
+	}
+}
+
+// NumericOnly reports whether the aggregate may only be applied to numeric
+// columns (Table 4, "Aggregate type usage").
+func (a AggFunc) NumericOnly() bool {
+	switch a {
+	case AggMin, AggMax, AggAvg, AggSum:
+		// The paper's rule forbids MIN/MAX/AVG/SUM on text columns.
+		return true
+	default:
+		return false
+	}
+}
+
+// Op is a predicate comparison operator (Table 3, OP module).
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpLike
+)
+
+// AllOps lists every operator in module output order.
+var AllOps = []Op{OpEq, OpNe, OpLt, OpGt, OpLe, OpGe, OpLike}
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	case OpLe:
+		return "<="
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Ordering reports whether the operator is an order comparison (<, >, <=, >=)
+// which Table 4 forbids on text columns.
+func (o Op) Ordering() bool {
+	switch o {
+	case OpLt, OpGt, OpLe, OpGe:
+		return true
+	default:
+		return false
+	}
+}
+
+// Eval applies the operator to a left value and right literal. Comparisons
+// involving NULL are false.
+func (o Op) Eval(left, right Value) bool {
+	if left.IsNull() || right.IsNull() {
+		return false
+	}
+	switch o {
+	case OpEq:
+		return left.Equal(right)
+	case OpNe:
+		return !left.Equal(right)
+	case OpLt:
+		return left.Kind == right.Kind && left.Compare(right) < 0
+	case OpGt:
+		return left.Kind == right.Kind && left.Compare(right) > 0
+	case OpLe:
+		return left.Kind == right.Kind && left.Compare(right) <= 0
+	case OpGe:
+		return left.Kind == right.Kind && left.Compare(right) >= 0
+	case OpLike:
+		if right.Kind != KindText {
+			return false
+		}
+		return left.Like(right.Text)
+	default:
+		return false
+	}
+}
+
+// LogicalOp connects multiple selection predicates. The task scope (§2.5)
+// disallows mixing AND and OR within one clause.
+type LogicalOp uint8
+
+const (
+	LogicAnd LogicalOp = iota
+	LogicOr
+)
+
+// String returns the SQL keyword.
+func (l LogicalOp) String() string {
+	if l == LogicOr {
+		return "OR"
+	}
+	return "AND"
+}
+
+// ClauseState is the tri-state of an optional clause in a partial query:
+// decided absent, decided present but not yet filled in, or filled in.
+type ClauseState uint8
+
+const (
+	// ClauseAbsent: the KW module decided the clause does not appear.
+	ClauseAbsent ClauseState = iota
+	// ClausePending: the clause will appear but its contents are holes.
+	ClausePending
+	// ClausePresent: the clause contents have been (at least partly) built.
+	ClausePresent
+)
+
+// String names the clause state.
+func (c ClauseState) String() string {
+	switch c {
+	case ClauseAbsent:
+		return "absent"
+	case ClausePending:
+		return "pending"
+	default:
+		return "present"
+	}
+}

@@ -1,0 +1,137 @@
+// Package sqlparse parses the SQL subset in the paper's task scope (§2.5)
+// into the sqlir AST. It is used to load gold queries for benchmark tasks,
+// to round-trip queries in tests, and by the CLI tooling.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are lower-cased; strings are unquoted
+	pos  int
+}
+
+// lex tokenizes the input. Keywords are returned as tokIdent; the parser
+// matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j
+		case c == '"':
+			// Double-quoted identifier (Spider-style t1."name").
+			j := i + 1
+			for j < n && input[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at %d", i)
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[i+1 : j]), i})
+			i = j + 1
+		case isDigit(c) || (c == '-' && i+1 < n && isDigit(input[i+1]) && startsValue(toks)):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < n && (isDigit(input[j]) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[i:j]), i})
+			i = j
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<=", ">=", "!=", "<>"} {
+				if strings.HasPrefix(input[i:], op) {
+					toks = append(toks, token{tokSymbol, op, i})
+					i += 2
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '*', '=', '<', '>', ';':
+				toks = append(toks, token{tokSymbol, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i)
+			}
+		next:
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// startsValue reports whether the previous token allows a negative number
+// literal here (after an operator or comma) rather than a minus.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	t := toks[len(toks)-1]
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<", ">", "<=", ">=", "!=", "<>", ",", "(":
+			return true
+		}
+	}
+	return false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,332 @@
+// Package storage implements the in-memory relational storage engine that
+// Duoquest runs on: typed columns, tables of rows, and a catalog of foreign
+// key → primary key relationships (the only join edges in the paper's task
+// scope, §2.5).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type sqlir.Type
+}
+
+// ForeignKey declares Table.Column references RefTable.RefColumn (a primary
+// key). Duoquest requires FK-PK constraints to be explicit on the schema
+// (§4.1).
+type ForeignKey struct {
+	Table     string
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// String renders the constraint.
+func (fk ForeignKey) String() string {
+	return fk.Table + "." + fk.Column + " -> " + fk.RefTable + "." + fk.RefColumn
+}
+
+// Table is a named collection of typed rows.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey string
+
+	rows   [][]sqlir.Value
+	colIdx map[string]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, pk string, cols ...Column) *Table {
+	t := &Table{Name: name, Columns: cols, PrimaryKey: pk, colIdx: map[string]int{}}
+	for i, c := range cols {
+		t.colIdx[c.Name] = i
+	}
+	return t
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column definition.
+func (t *Table) Column(name string) (Column, bool) {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th row (shared slice; callers must not mutate).
+func (t *Table) Row(i int) []sqlir.Value { return t.rows[i] }
+
+// Rows returns all rows (shared; callers must not mutate).
+func (t *Table) Rows() [][]sqlir.Value { return t.rows }
+
+// Insert appends a row after checking arity and types. NULLs are accepted in
+// any column.
+func (t *Table) Insert(vals ...sqlir.Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("storage: table %s: insert arity %d, want %d", t.Name, len(vals), len(t.Columns))
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if v.Type() != t.Columns[i].Type {
+			return fmt.Errorf("storage: table %s column %s: value %s has type %s, want %s",
+				t.Name, t.Columns[i].Name, v, v.Type(), t.Columns[i].Type)
+		}
+	}
+	row := make([]sqlir.Value, len(vals))
+	copy(row, vals)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustInsert inserts and panics on error; intended for dataset construction
+// code where a failure is a programming bug.
+func (t *Table) MustInsert(vals ...sqlir.Value) {
+	if err := t.Insert(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// ColumnStats summarises one column for verification and PBE abduction.
+type ColumnStats struct {
+	Min, Max sqlir.Value // over non-null values; Null if column empty
+	Distinct int
+	NonNull  int
+}
+
+// Stats computes column statistics (linear scan; cached by Database).
+func (t *Table) Stats(col string) (ColumnStats, error) {
+	ci := t.ColumnIndex(col)
+	if ci < 0 {
+		return ColumnStats{}, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
+	}
+	var st ColumnStats
+	seen := map[sqlir.Value]bool{}
+	for _, row := range t.rows {
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		if st.NonNull == 0 {
+			st.Min, st.Max = v, v
+		} else {
+			if v.Less(st.Min) {
+				st.Min = v
+			}
+			if st.Max.Less(v) {
+				st.Max = v
+			}
+		}
+		st.NonNull++
+		seen[v] = true
+	}
+	st.Distinct = len(seen)
+	return st, nil
+}
+
+// DistinctValues returns up to max distinct non-null values of the column in
+// sorted order (max <= 0 means all).
+func (t *Table) DistinctValues(col string, max int) ([]sqlir.Value, error) {
+	ci := t.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
+	}
+	seen := map[sqlir.Value]bool{}
+	var out []sqlir.Value
+	for _, row := range t.rows {
+		v := row[ci]
+		if v.IsNull() || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out, nil
+}
+
+// Schema is the catalog: tables plus FK-PK constraints.
+type Schema struct {
+	Tables      []*Table
+	ForeignKeys []ForeignKey
+
+	tblIdx map[string]*Table
+}
+
+// NewSchema builds a schema over the given tables.
+func NewSchema(tables ...*Table) *Schema {
+	s := &Schema{Tables: tables, tblIdx: map[string]*Table{}}
+	for _, t := range tables {
+		s.tblIdx[t.Name] = t
+	}
+	return s
+}
+
+// AddForeignKey registers an FK-PK constraint.
+func (s *Schema) AddForeignKey(table, column, refTable, refColumn string) {
+	s.ForeignKeys = append(s.ForeignKeys, ForeignKey{table, column, refTable, refColumn})
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table {
+	return s.tblIdx[name]
+}
+
+// Resolve returns the type of table.column, reporting whether it exists.
+func (s *Schema) Resolve(c sqlir.ColumnRef) (sqlir.Type, bool) {
+	if c.IsStar() {
+		return sqlir.TypeNumber, true // only used under COUNT(*)
+	}
+	t := s.Table(c.Table)
+	if t == nil {
+		return sqlir.TypeUnknown, false
+	}
+	col, ok := t.Column(c.Column)
+	if !ok {
+		return sqlir.TypeUnknown, false
+	}
+	return col.Type, true
+}
+
+// Validate checks structural consistency: unique table/column names, FK
+// endpoints exist, FK references a table's primary key, and FK/PK column
+// types agree.
+func (s *Schema) Validate() error {
+	names := map[string]bool{}
+	for _, t := range s.Tables {
+		if names[t.Name] {
+			return fmt.Errorf("storage: duplicate table %s", t.Name)
+		}
+		names[t.Name] = true
+		cols := map[string]bool{}
+		for _, c := range t.Columns {
+			if cols[c.Name] {
+				return fmt.Errorf("storage: table %s: duplicate column %s", t.Name, c.Name)
+			}
+			cols[c.Name] = true
+			if c.Type == sqlir.TypeUnknown {
+				return fmt.Errorf("storage: table %s: column %s has unknown type", t.Name, c.Name)
+			}
+		}
+		if t.PrimaryKey != "" && t.ColumnIndex(t.PrimaryKey) < 0 {
+			return fmt.Errorf("storage: table %s: primary key %s not a column", t.Name, t.PrimaryKey)
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		ft := s.Table(fk.Table)
+		rt := s.Table(fk.RefTable)
+		if ft == nil || rt == nil {
+			return fmt.Errorf("storage: foreign key %s: unknown table", fk)
+		}
+		fc, ok1 := ft.Column(fk.Column)
+		rc, ok2 := rt.Column(fk.RefColumn)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("storage: foreign key %s: unknown column", fk)
+		}
+		if rt.PrimaryKey != fk.RefColumn {
+			return fmt.Errorf("storage: foreign key %s: referenced column is not %s's primary key", fk, fk.RefTable)
+		}
+		if fc.Type != rc.Type {
+			return fmt.Errorf("storage: foreign key %s: type mismatch %s vs %s", fk, fc.Type, rc.Type)
+		}
+	}
+	return nil
+}
+
+// NumColumns returns the total column count across tables (Table 5 stats).
+func (s *Schema) NumColumns() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// TextColumns lists every (table, column) pair of text type — the master
+// inverted column index in the paper's autocomplete server spans these.
+func (s *Schema) TextColumns() []sqlir.ColumnRef {
+	var out []sqlir.ColumnRef
+	for _, t := range s.Tables {
+		for _, c := range t.Columns {
+			if c.Type == sqlir.TypeText {
+				out = append(out, sqlir.ColumnRef{Table: t.Name, Column: c.Name})
+			}
+		}
+	}
+	return out
+}
+
+// Database is a schema plus its data, with memoized statistics.
+type Database struct {
+	Name   string
+	Schema *Schema
+
+	statsMu sync.Mutex
+	stats   map[sqlir.ColumnRef]ColumnStats
+}
+
+// NewDatabase wraps a schema as a database.
+func NewDatabase(name string, schema *Schema) *Database {
+	return &Database{Name: name, Schema: schema, stats: map[sqlir.ColumnRef]ColumnStats{}}
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table { return d.Schema.Table(name) }
+
+// Stats returns memoized column statistics.
+func (d *Database) Stats(c sqlir.ColumnRef) (ColumnStats, error) {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	if st, ok := d.stats[c]; ok {
+		return st, nil
+	}
+	t := d.Schema.Table(c.Table)
+	if t == nil {
+		return ColumnStats{}, fmt.Errorf("storage: no table %s", c.Table)
+	}
+	st, err := t.Stats(c.Column)
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	d.stats[c] = st
+	return st, nil
+}
+
+// InvalidateStats clears the memoized statistics (after bulk loads).
+func (d *Database) InvalidateStats() {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	d.stats = map[sqlir.ColumnRef]ColumnStats{}
+}
+
+// TotalRows returns the sum of all table row counts.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, t := range d.Schema.Tables {
+		n += t.NumRows()
+	}
+	return n
+}

@@ -1,0 +1,298 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+func text(s string) sqlir.Value { return sqlir.NewText(s) }
+func num(f float64) sqlir.Value { return sqlir.NewNumber(f) }
+
+// movieSchema builds the paper's §2 movie schema.
+func movieSchema() *Schema {
+	actor := NewTable("actor", "aid",
+		Column{"aid", sqlir.TypeNumber},
+		Column{"name", sqlir.TypeText},
+		Column{"gender", sqlir.TypeText},
+		Column{"birth_yr", sqlir.TypeNumber},
+	)
+	movie := NewTable("movie", "mid",
+		Column{"mid", sqlir.TypeNumber},
+		Column{"name", sqlir.TypeText},
+		Column{"year", sqlir.TypeNumber},
+		Column{"revenue", sqlir.TypeNumber},
+	)
+	starring := NewTable("starring", "sid",
+		Column{"sid", sqlir.TypeNumber},
+		Column{"aid", sqlir.TypeNumber},
+		Column{"mid", sqlir.TypeNumber},
+	)
+	s := NewSchema(actor, movie, starring)
+	s.AddForeignKey("starring", "aid", "actor", "aid")
+	s.AddForeignKey("starring", "mid", "movie", "mid")
+	return s
+}
+
+func TestSchemaValidateOK(t *testing.T) {
+	if err := movieSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Schema
+		want  string
+	}{
+		{"duplicate table", func() *Schema {
+			return NewSchema(NewTable("a", ""), NewTable("a", ""))
+		}, "duplicate table"},
+		{"duplicate column", func() *Schema {
+			return NewSchema(NewTable("a", "", Column{"x", sqlir.TypeText}, Column{"x", sqlir.TypeText}))
+		}, "duplicate column"},
+		{"unknown type", func() *Schema {
+			return NewSchema(NewTable("a", "", Column{"x", sqlir.TypeUnknown}))
+		}, "unknown type"},
+		{"bad pk", func() *Schema {
+			return NewSchema(NewTable("a", "nope", Column{"x", sqlir.TypeText}))
+		}, "primary key"},
+		{"fk unknown table", func() *Schema {
+			s := NewSchema(NewTable("a", "", Column{"x", sqlir.TypeNumber}))
+			s.AddForeignKey("a", "x", "missing", "y")
+			return s
+		}, "unknown table"},
+		{"fk unknown column", func() *Schema {
+			s := movieSchema()
+			s.AddForeignKey("starring", "nope", "actor", "aid")
+			return s
+		}, "unknown column"},
+		{"fk not pk", func() *Schema {
+			s := movieSchema()
+			s.AddForeignKey("starring", "aid", "actor", "name")
+			return s
+		}, "primary key"},
+		{"fk type mismatch", func() *Schema {
+			a := NewTable("a", "id", Column{"id", sqlir.TypeText})
+			b := NewTable("b", "", Column{"aid", sqlir.TypeNumber})
+			s := NewSchema(a, b)
+			s.AddForeignKey("b", "aid", "a", "id")
+			return s
+		}, "type mismatch"},
+	}
+	for _, c := range cases {
+		err := c.build().Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestInsertAndRead(t *testing.T) {
+	s := movieSchema()
+	m := s.Table("movie")
+	if err := m.Insert(num(1), text("Forrest Gump"), num(1994), num(678)); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 1 {
+		t.Fatalf("rows = %d", m.NumRows())
+	}
+	row := m.Row(0)
+	if !row[1].Equal(text("Forrest Gump")) {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestInsertArityError(t *testing.T) {
+	m := movieSchema().Table("movie")
+	if err := m.Insert(num(1)); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInsertTypeError(t *testing.T) {
+	m := movieSchema().Table("movie")
+	if err := m.Insert(text("x"), text("y"), num(1), num(2)); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInsertNullAllowed(t *testing.T) {
+	m := movieSchema().Table("movie")
+	if err := m.Insert(num(1), sqlir.Null(), sqlir.Null(), sqlir.Null()); err != nil {
+		t.Errorf("nulls should be allowed: %v", err)
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert should panic on bad row")
+		}
+	}()
+	movieSchema().Table("movie").MustInsert(num(1))
+}
+
+func TestInsertCopiesRow(t *testing.T) {
+	m := movieSchema().Table("movie")
+	vals := []sqlir.Value{num(1), text("A"), num(2000), num(10)}
+	if err := m.Insert(vals...); err != nil {
+		t.Fatal(err)
+	}
+	vals[1] = text("B")
+	if !m.Row(0)[1].Equal(text("A")) {
+		t.Error("Insert must copy the row")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	m := movieSchema().Table("movie")
+	if m.ColumnIndex("year") != 2 {
+		t.Errorf("ColumnIndex(year) = %d", m.ColumnIndex("year"))
+	}
+	if m.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	c, ok := m.Column("name")
+	if !ok || c.Type != sqlir.TypeText {
+		t.Errorf("Column(name) = %v, %v", c, ok)
+	}
+	if _, ok := m.Column("nope"); ok {
+		t.Error("missing column should not resolve")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := movieSchema().Table("movie")
+	m.MustInsert(num(1), text("A"), num(1990), num(5))
+	m.MustInsert(num(2), text("B"), num(2000), num(7))
+	m.MustInsert(num(3), text("B"), sqlir.Null(), num(7))
+	st, err := m.Stats("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Min.Equal(num(1990)) || !st.Max.Equal(num(2000)) {
+		t.Errorf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if st.NonNull != 2 || st.Distinct != 2 {
+		t.Errorf("nonnull=%d distinct=%d", st.NonNull, st.Distinct)
+	}
+	st, _ = m.Stats("name")
+	if st.Distinct != 2 || st.NonNull != 3 {
+		t.Errorf("name stats: %+v", st)
+	}
+	if _, err := m.Stats("nope"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	m := movieSchema().Table("movie")
+	st, err := m.Stats("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Min.IsNull() || !st.Max.IsNull() || st.NonNull != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	m := movieSchema().Table("movie")
+	m.MustInsert(num(1), text("B"), num(1990), num(5))
+	m.MustInsert(num(2), text("A"), num(2000), num(7))
+	m.MustInsert(num(3), text("A"), sqlir.Null(), num(7))
+	vals, err := m.DistinctValues("name", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || !vals[0].Equal(text("A")) || !vals[1].Equal(text("B")) {
+		t.Errorf("distinct = %v", vals)
+	}
+	vals, _ = m.DistinctValues("name", 1)
+	if len(vals) != 1 {
+		t.Errorf("capped distinct = %v", vals)
+	}
+	if _, err := m.DistinctValues("nope", 0); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := movieSchema()
+	ty, ok := s.Resolve(sqlir.ColumnRef{Table: "movie", Column: "year"})
+	if !ok || ty != sqlir.TypeNumber {
+		t.Errorf("resolve = %v %v", ty, ok)
+	}
+	if _, ok := s.Resolve(sqlir.ColumnRef{Table: "movie", Column: "nope"}); ok {
+		t.Error("missing column resolved")
+	}
+	if _, ok := s.Resolve(sqlir.ColumnRef{Table: "nope", Column: "x"}); ok {
+		t.Error("missing table resolved")
+	}
+	if ty, ok := s.Resolve(sqlir.Star); !ok || ty != sqlir.TypeNumber {
+		t.Error("star should resolve as number")
+	}
+}
+
+func TestNumColumnsAndTextColumns(t *testing.T) {
+	s := movieSchema()
+	if s.NumColumns() != 11 {
+		t.Errorf("NumColumns = %d, want 11", s.NumColumns())
+	}
+	tc := s.TextColumns()
+	if len(tc) != 3 { // actor.name, actor.gender, movie.name
+		t.Errorf("TextColumns = %v", tc)
+	}
+}
+
+func TestDatabaseStatsMemoized(t *testing.T) {
+	s := movieSchema()
+	db := NewDatabase("movies", s)
+	m := s.Table("movie")
+	m.MustInsert(num(1), text("A"), num(1990), num(5))
+	ref := sqlir.ColumnRef{Table: "movie", Column: "year"}
+	st, err := db.Stats(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Min.Equal(num(1990)) {
+		t.Errorf("stats min = %v", st.Min)
+	}
+	// Insert after memoization: stale until invalidated.
+	m.MustInsert(num(2), text("B"), num(1800), num(5))
+	st, _ = db.Stats(ref)
+	if !st.Min.Equal(num(1990)) {
+		t.Error("expected memoized stats")
+	}
+	db.InvalidateStats()
+	st, _ = db.Stats(ref)
+	if !st.Min.Equal(num(1800)) {
+		t.Error("expected refreshed stats")
+	}
+	if _, err := db.Stats(sqlir.ColumnRef{Table: "nope", Column: "x"}); err == nil {
+		t.Error("missing table should error")
+	}
+}
+
+func TestTotalRows(t *testing.T) {
+	s := movieSchema()
+	db := NewDatabase("movies", s)
+	s.Table("movie").MustInsert(num(1), text("A"), num(1990), num(5))
+	s.Table("actor").MustInsert(num(1), text("X"), text("male"), num(1950))
+	if db.TotalRows() != 2 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+	if db.Table("movie") == nil || db.Table("nope") != nil {
+		t.Error("Table lookup wrong")
+	}
+}
+
+func TestForeignKeyString(t *testing.T) {
+	fk := ForeignKey{"starring", "aid", "actor", "aid"}
+	if fk.String() != "starring.aid -> actor.aid" {
+		t.Errorf("fk string = %q", fk.String())
+	}
+}

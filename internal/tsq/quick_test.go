@@ -1,0 +1,122 @@
+package tsq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+// genResult builds a random single-text-column result.
+func genResult(r *rand.Rand, rows int) *sqlexec.Result {
+	res := &sqlexec.Result{Types: []sqlir.Type{sqlir.TypeText, sqlir.TypeNumber}}
+	for i := 0; i < rows; i++ {
+		res.Rows = append(res.Rows, []sqlir.Value{
+			sqlir.NewText(string(rune('a' + r.Intn(6)))),
+			sqlir.NewInt(r.Intn(20)),
+		})
+	}
+	return res
+}
+
+// Property: removing a tuple from a satisfied TSQ keeps it satisfied
+// (constraints are monotone).
+func TestQuickTupleRemovalMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		res := genResult(r, 2+r.Intn(8))
+		// Build a sketch from two random result rows.
+		var sk TSQ
+		for k := 0; k < 2; k++ {
+			row := res.Rows[r.Intn(len(res.Rows))]
+			sk.Tuples = append(sk.Tuples, Tuple{Exact(row[0]), Exact(row[1])})
+		}
+		if !sk.Satisfies(res) {
+			continue // duplicates may defeat distinct matching; skip
+		}
+		smaller := TSQ{Tuples: sk.Tuples[:1]}
+		if !smaller.Satisfies(res) {
+			t.Fatalf("removing a tuple broke satisfaction: %v on %v", smaller, res.Rows)
+		}
+	}
+}
+
+// Property: widening a cell (exact → range covering it → empty) keeps a
+// satisfied TSQ satisfied.
+func TestQuickCellWideningMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 500; i++ {
+		res := genResult(r, 1+r.Intn(8))
+		row := res.Rows[r.Intn(len(res.Rows))]
+		exact := TSQ{Tuples: []Tuple{{Exact(row[0]), Exact(row[1])}}}
+		if !exact.Satisfies(res) {
+			t.Fatalf("exact sketch must satisfy its source row")
+		}
+		widened := TSQ{Tuples: []Tuple{{Exact(row[0]), Range(row[1].Num-1, row[1].Num+1)}}}
+		if !widened.Satisfies(res) {
+			t.Fatal("range widening broke satisfaction")
+		}
+		empty := TSQ{Tuples: []Tuple{{Exact(row[0]), Empty()}}}
+		if !empty.Satisfies(res) {
+			t.Fatal("empty widening broke satisfaction")
+		}
+	}
+}
+
+// Property: adding rows to the result never breaks satisfaction when no
+// limit is set (the open-world assumption).
+func TestQuickOpenWorldMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		res := genResult(r, 1+r.Intn(6))
+		row := res.Rows[0]
+		sk := TSQ{Tuples: []Tuple{{Exact(row[0]), Exact(row[1])}}}
+		if !sk.Satisfies(res) {
+			t.Fatal("sketch must satisfy its source")
+		}
+		grown := &sqlexec.Result{Types: res.Types, Rows: append(res.Rows, genResult(r, 3).Rows...)}
+		if !sk.Satisfies(grown) {
+			t.Fatal("open world: extra rows broke satisfaction")
+		}
+	}
+}
+
+// Property: a limit k rejects exactly when the result exceeds k rows.
+func TestQuickLimitThreshold(t *testing.T) {
+	f := func(k uint8, rows uint8) bool {
+		limit := int(k%10) + 1
+		n := int(rows % 20)
+		res := &sqlexec.Result{Types: []sqlir.Type{sqlir.TypeText}}
+		for i := 0; i < n; i++ {
+			res.Rows = append(res.Rows, []sqlir.Value{sqlir.NewText("x")})
+		}
+		sk := TSQ{Limit: limit}
+		return sk.Satisfies(res) == (n <= limit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ordered satisfaction implies unordered satisfaction.
+func TestQuickOrderedImpliesUnordered(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for i := 0; i < 500; i++ {
+		res := genResult(r, 2+r.Intn(6))
+		i1, i2 := r.Intn(len(res.Rows)), r.Intn(len(res.Rows))
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		tuples := []Tuple{
+			{Exact(res.Rows[i1][0]), Empty()},
+			{Exact(res.Rows[i2][0]), Empty()},
+		}
+		ordered := TSQ{Sorted: true, Tuples: tuples}
+		unordered := TSQ{Sorted: false, Tuples: tuples}
+		if ordered.Satisfies(res) && !unordered.Satisfies(res) {
+			t.Fatalf("ordered satisfied but unordered not: %v", res.Rows)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package tsq implements the table sketch query (Definitions 2.3 and 2.4):
+// the PBE-like half of Duoquest's dual specification. A TSQ carries optional
+// column type annotations, optional example tuples whose cells may be exact,
+// empty, or ranges, a sorted flag, and a top-k limit.
+package tsq
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+// CellKind discriminates example tuple cells (Table 2).
+type CellKind uint8
+
+const (
+	// CellEmpty matches any value.
+	CellEmpty CellKind = iota
+	// CellExact matches only the identical value.
+	CellExact
+	// CellRange matches numeric values within [Lo, Hi].
+	CellRange
+)
+
+// Cell is one cell of an example tuple.
+type Cell struct {
+	Kind   CellKind
+	Val    sqlir.Value // exact value
+	Lo, Hi sqlir.Value // inclusive numeric range bounds
+}
+
+// Empty returns a cell matching any value.
+func Empty() Cell { return Cell{Kind: CellEmpty} }
+
+// Exact returns a cell matching exactly v.
+func Exact(v sqlir.Value) Cell { return Cell{Kind: CellExact, Val: v} }
+
+// Range returns a cell matching numbers within [lo, hi].
+func Range(lo, hi float64) Cell {
+	return Cell{Kind: CellRange, Lo: sqlir.NewNumber(lo), Hi: sqlir.NewNumber(hi)}
+}
+
+// Matches reports whether a result cell satisfies this example cell.
+func (c Cell) Matches(v sqlir.Value) bool {
+	switch c.Kind {
+	case CellEmpty:
+		return true
+	case CellExact:
+		if c.Val.Kind == sqlir.KindText && v.Kind == sqlir.KindText {
+			// Text matching is case-insensitive, mirroring the
+			// autocomplete interface's behaviour.
+			return strings.EqualFold(c.Val.Text, v.Text)
+		}
+		return c.Val.Equal(v)
+	case CellRange:
+		if v.Kind != sqlir.KindNumber {
+			return false
+		}
+		return v.Num >= c.Lo.Num && v.Num <= c.Hi.Num
+	default:
+		return false
+	}
+}
+
+// Type returns the type implied by the cell, or TypeUnknown for empty cells.
+func (c Cell) Type() sqlir.Type {
+	switch c.Kind {
+	case CellExact:
+		return c.Val.Type()
+	case CellRange:
+		return sqlir.TypeNumber
+	default:
+		return sqlir.TypeUnknown
+	}
+}
+
+// String renders the cell for display.
+func (c Cell) String() string {
+	switch c.Kind {
+	case CellEmpty:
+		return "_"
+	case CellExact:
+		return c.Val.Display()
+	case CellRange:
+		return "[" + c.Lo.Display() + "," + c.Hi.Display() + "]"
+	default:
+		return "?"
+	}
+}
+
+// Tuple is one example tuple.
+type Tuple []Cell
+
+// String renders the tuple.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, c := range t {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TSQ is a table sketch query T = (α, χ, τ, k).
+type TSQ struct {
+	// Types is the optional list of column type annotations α; nil means
+	// unannotated.
+	Types []sqlir.Type
+	// Tuples is the optional list of example tuples χ.
+	Tuples []Tuple
+	// Sorted is the sorting flag τ.
+	Sorted bool
+	// Limit is k; 0 indicates no limit.
+	Limit int
+}
+
+// Width returns the number of columns the TSQ constrains, or 0 when it
+// constrains none.
+func (t *TSQ) Width() int {
+	if len(t.Types) > 0 {
+		return len(t.Types)
+	}
+	if len(t.Tuples) > 0 {
+		return len(t.Tuples[0])
+	}
+	return 0
+}
+
+// Validate checks internal consistency: uniform tuple widths, tuple widths
+// agreeing with annotations, well-formed ranges, and cells whose implied
+// type is consistent with the annotation.
+func (t *TSQ) Validate() error {
+	w := t.Width()
+	for i, tp := range t.Tuples {
+		if len(tp) != w {
+			return fmt.Errorf("tsq: tuple %d has %d cells, want %d", i, len(tp), w)
+		}
+		for j, c := range tp {
+			if c.Kind == CellRange {
+				if c.Lo.Kind != sqlir.KindNumber || c.Hi.Kind != sqlir.KindNumber {
+					return fmt.Errorf("tsq: tuple %d cell %d: range bounds must be numeric", i, j)
+				}
+				if c.Lo.Num > c.Hi.Num {
+					return fmt.Errorf("tsq: tuple %d cell %d: empty range [%v,%v]", i, j, c.Lo, c.Hi)
+				}
+			}
+			if len(t.Types) > 0 {
+				ct := c.Type()
+				if ct != sqlir.TypeUnknown && t.Types[j] != sqlir.TypeUnknown && ct != t.Types[j] {
+					return fmt.Errorf("tsq: tuple %d cell %d: %s cell under %s annotation", i, j, ct, t.Types[j])
+				}
+			}
+		}
+	}
+	if t.Limit < 0 {
+		return fmt.Errorf("tsq: negative limit %d", t.Limit)
+	}
+	if t.Limit > 0 && len(t.Tuples) > t.Limit {
+		return fmt.Errorf("tsq: %d example tuples cannot fit in limit %d", len(t.Tuples), t.Limit)
+	}
+	return nil
+}
+
+// String renders the sketch.
+func (t *TSQ) String() string {
+	var b strings.Builder
+	b.WriteString("TSQ{")
+	if len(t.Types) > 0 {
+		names := make([]string, len(t.Types))
+		for i, ty := range t.Types {
+			names[i] = ty.String()
+		}
+		b.WriteString("types=[" + strings.Join(names, ",") + "] ")
+	}
+	for i, tp := range t.Tuples {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(tp.String())
+	}
+	fmt.Fprintf(&b, " sorted=%v limit=%d}", t.Sorted, t.Limit)
+	return b.String()
+}
+
+// Satisfies implements Definition 2.4 against a materialized result:
+//
+//  1. column types match the annotations (if α present);
+//  2. each example tuple is satisfied by a distinct result tuple;
+//  3. if sorted, the satisfying tuples appear in the example order;
+//  4. if k > 0, the result has at most k rows.
+//
+// The result's column count must equal the TSQ width when the TSQ
+// constrains columns at all.
+func (t *TSQ) Satisfies(res *sqlexec.Result) bool {
+	if res == nil {
+		return false
+	}
+	if w := t.Width(); w > 0 && len(res.Types) != w {
+		return false
+	}
+	if len(t.Types) > 0 {
+		for i, ty := range t.Types {
+			if ty != sqlir.TypeUnknown && res.Types[i] != ty {
+				return false
+			}
+		}
+	}
+	if t.Limit > 0 && len(res.Rows) > t.Limit {
+		return false
+	}
+	if len(t.Tuples) == 0 {
+		return true
+	}
+	if t.Sorted {
+		return matchInOrder(t.Tuples, res.Rows)
+	}
+	return matchDistinct(t.Tuples, res.Rows)
+}
+
+// tupleMatchesRow checks every cell.
+func tupleMatchesRow(tp Tuple, row []sqlir.Value) bool {
+	if len(tp) != len(row) {
+		return false
+	}
+	for i, c := range tp {
+		if !c.Matches(row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchInOrder greedily assigns each example tuple the earliest matching row
+// after the previous assignment (order-respecting distinct matching; greedy
+// earliest-match is exact for subsequence matching).
+func matchInOrder(tuples []Tuple, rows [][]sqlir.Value) bool {
+	next := 0
+	for _, tp := range tuples {
+		found := -1
+		for i := next; i < len(rows); i++ {
+			if tupleMatchesRow(tp, rows[i]) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		next = found + 1
+	}
+	return true
+}
+
+// matchDistinct finds a perfect matching of example tuples onto distinct
+// result rows via augmenting paths (tuple counts are small; rows may be
+// many).
+func matchDistinct(tuples []Tuple, rows [][]sqlir.Value) bool {
+	// candidate rows per tuple
+	cand := make([][]int, len(tuples))
+	for i, tp := range tuples {
+		for j, row := range rows {
+			if tupleMatchesRow(tp, row) {
+				cand[i] = append(cand[i], j)
+			}
+		}
+		if len(cand[i]) == 0 {
+			return false
+		}
+	}
+	rowOwner := map[int]int{} // row -> tuple
+	var try func(i int, visited map[int]bool) bool
+	try = func(i int, visited map[int]bool) bool {
+		for _, r := range cand[i] {
+			if visited[r] {
+				continue
+			}
+			visited[r] = true
+			owner, taken := rowOwner[r]
+			if !taken || try(owner, visited) {
+				rowOwner[r] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := range tuples {
+		if !try(i, map[int]bool{}) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+package tsq
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+func text(s string) sqlir.Value { return sqlir.NewText(s) }
+func num(f float64) sqlir.Value { return sqlir.NewNumber(f) }
+
+func TestCellMatches(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		v    sqlir.Value
+		want bool
+	}{
+		{Empty(), text("anything"), true},
+		{Empty(), sqlir.Null(), true},
+		{Exact(text("Tom Hanks")), text("Tom Hanks"), true},
+		{Exact(text("Tom Hanks")), text("tom hanks"), true}, // case-insensitive
+		{Exact(text("Tom Hanks")), text("Brad Pitt"), false},
+		{Exact(num(1994)), num(1994), true},
+		{Exact(num(1994)), num(1995), false},
+		{Exact(num(1994)), text("1994"), false},
+		{Range(2010, 2017), num(2013), true},
+		{Range(2010, 2017), num(2010), true}, // inclusive
+		{Range(2010, 2017), num(2017), true},
+		{Range(2010, 2017), num(2009), false},
+		{Range(2010, 2017), text("2013"), false},
+		{Range(2010, 2017), sqlir.Null(), false},
+	}
+	for _, c := range cases {
+		if got := c.cell.Matches(c.v); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", c.cell, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCellType(t *testing.T) {
+	if Empty().Type() != sqlir.TypeUnknown {
+		t.Error("empty cell type")
+	}
+	if Exact(text("x")).Type() != sqlir.TypeText {
+		t.Error("exact text type")
+	}
+	if Range(1, 2).Type() != sqlir.TypeNumber {
+		t.Error("range type")
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if Empty().String() != "_" {
+		t.Error("empty cell string")
+	}
+	if Exact(text("X")).String() != "X" {
+		t.Error("exact string")
+	}
+	if Range(2010, 2017).String() != "[2010,2017]" {
+		t.Errorf("range string = %q", Range(2010, 2017).String())
+	}
+}
+
+// kevinTSQ is the paper's Table 2 example.
+func kevinTSQ() *TSQ {
+	return &TSQ{
+		Types: []sqlir.Type{sqlir.TypeText, sqlir.TypeText, sqlir.TypeNumber},
+		Tuples: []Tuple{
+			{Exact(text("Forrest Gump")), Exact(text("Tom Hanks")), Empty()},
+			{Exact(text("Gravity")), Exact(text("Sandra Bullock")), Range(2010, 2017)},
+		},
+		Sorted: false,
+		Limit:  0,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := kevinTSQ().Validate(); err != nil {
+		t.Fatalf("Table 2 TSQ should validate: %v", err)
+	}
+	empty := &TSQ{}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty TSQ should validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		tsq  *TSQ
+		want string
+	}{
+		{"ragged tuples", &TSQ{Tuples: []Tuple{
+			{Exact(text("a"))},
+			{Exact(text("a")), Exact(text("b"))},
+		}}, "cells"},
+		{"tuple wider than types", &TSQ{
+			Types:  []sqlir.Type{sqlir.TypeText},
+			Tuples: []Tuple{{Exact(text("a")), Exact(text("b"))}},
+		}, "cells"},
+		{"inverted range", &TSQ{Tuples: []Tuple{{Cell{Kind: CellRange, Lo: num(5), Hi: num(1)}}}}, "empty range"},
+		{"non-numeric range", &TSQ{Tuples: []Tuple{{Cell{Kind: CellRange, Lo: text("a"), Hi: text("b")}}}}, "numeric"},
+		{"type clash", &TSQ{
+			Types:  []sqlir.Type{sqlir.TypeNumber},
+			Tuples: []Tuple{{Exact(text("a"))}},
+		}, "annotation"},
+		{"negative limit", &TSQ{Limit: -1}, "negative limit"},
+		{"tuples exceed limit", &TSQ{
+			Limit:  1,
+			Tuples: []Tuple{{Exact(text("a"))}, {Exact(text("b"))}},
+		}, "cannot fit"},
+	}
+	for _, c := range cases {
+		err := c.tsq.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if kevinTSQ().Width() != 3 {
+		t.Error("width from types")
+	}
+	noTypes := &TSQ{Tuples: []Tuple{{Empty(), Empty()}}}
+	if noTypes.Width() != 2 {
+		t.Error("width from tuples")
+	}
+	if (&TSQ{}).Width() != 0 {
+		t.Error("empty width")
+	}
+}
+
+func mkResult(types []sqlir.Type, rows ...[]sqlir.Value) *sqlexec.Result {
+	return &sqlexec.Result{Types: types, Rows: rows}
+}
+
+var ttn = []sqlir.Type{sqlir.TypeText, sqlir.TypeText, sqlir.TypeNumber}
+
+// TestSatisfiesMotivatingExample mirrors §2: CQ3's output satisfies the TSQ,
+// CQ1's (no Gravity row) does not, CQ2's (birth years) fails the range.
+func TestSatisfiesMotivatingExample(t *testing.T) {
+	sketch := kevinTSQ()
+	cq3 := mkResult(ttn,
+		[]sqlir.Value{text("Forrest Gump"), text("Tom Hanks"), num(1994)},
+		[]sqlir.Value{text("Gravity"), text("Sandra Bullock"), num(2013)},
+		[]sqlir.Value{text("Fight Club"), text("Brad Pitt"), num(1999)},
+	)
+	if !sketch.Satisfies(cq3) {
+		t.Error("CQ3 output should satisfy the TSQ (open world: extra rows fine)")
+	}
+	cq1 := mkResult(ttn,
+		[]sqlir.Value{text("Forrest Gump"), text("Tom Hanks"), num(1994)},
+	)
+	if sketch.Satisfies(cq1) {
+		t.Error("CQ1 output lacks the Gravity tuple")
+	}
+	cq2 := mkResult(ttn,
+		[]sqlir.Value{text("Forrest Gump"), text("Tom Hanks"), num(1956)},
+		[]sqlir.Value{text("Gravity"), text("Sandra Bullock"), num(1964)},
+	)
+	if sketch.Satisfies(cq2) {
+		t.Error("CQ2 output fails the [2010,2017] range")
+	}
+}
+
+func TestSatisfiesTypeMismatch(t *testing.T) {
+	sketch := kevinTSQ()
+	wrongTypes := mkResult([]sqlir.Type{sqlir.TypeText, sqlir.TypeText, sqlir.TypeText},
+		[]sqlir.Value{text("Forrest Gump"), text("Tom Hanks"), text("x")},
+		[]sqlir.Value{text("Gravity"), text("Sandra Bullock"), text("y")},
+	)
+	if sketch.Satisfies(wrongTypes) {
+		t.Error("type annotation mismatch should fail")
+	}
+	wrongWidth := mkResult([]sqlir.Type{sqlir.TypeText},
+		[]sqlir.Value{text("Forrest Gump")},
+	)
+	if sketch.Satisfies(wrongWidth) {
+		t.Error("width mismatch should fail")
+	}
+}
+
+func TestSatisfiesDistinctness(t *testing.T) {
+	// Two identical example tuples need two distinct matching rows.
+	sketch := &TSQ{Tuples: []Tuple{
+		{Exact(text("A"))},
+		{Exact(text("A"))},
+	}}
+	one := mkResult([]sqlir.Type{sqlir.TypeText}, []sqlir.Value{text("A")})
+	if sketch.Satisfies(one) {
+		t.Error("one row cannot satisfy two tuples")
+	}
+	two := mkResult([]sqlir.Type{sqlir.TypeText},
+		[]sqlir.Value{text("A")}, []sqlir.Value{text("A")})
+	if !sketch.Satisfies(two) {
+		t.Error("two rows satisfy two tuples")
+	}
+}
+
+// TestSatisfiesMatchingRequiresAugmenting builds the case where greedy
+// assignment fails but a perfect matching exists: tuple0 matches rows {0,1},
+// tuple1 matches only row 0.
+func TestSatisfiesMatchingRequiresAugmenting(t *testing.T) {
+	sketch := &TSQ{Tuples: []Tuple{
+		{Empty(), Exact(num(1))},          // matches rows 0 and 1
+		{Exact(text("a")), Exact(num(1))}, // matches only row 0
+	}}
+	res := mkResult([]sqlir.Type{sqlir.TypeText, sqlir.TypeNumber},
+		[]sqlir.Value{text("a"), num(1)},
+		[]sqlir.Value{text("b"), num(1)},
+	)
+	if !sketch.Satisfies(res) {
+		t.Error("augmenting matching should find the assignment")
+	}
+}
+
+func TestSatisfiesSorted(t *testing.T) {
+	sketch := &TSQ{
+		Sorted: true,
+		Tuples: []Tuple{
+			{Exact(text("A"))},
+			{Exact(text("B"))},
+		},
+	}
+	inOrder := mkResult([]sqlir.Type{sqlir.TypeText},
+		[]sqlir.Value{text("X")}, []sqlir.Value{text("A")}, []sqlir.Value{text("B")})
+	if !sketch.Satisfies(inOrder) {
+		t.Error("A before B holds")
+	}
+	outOfOrder := mkResult([]sqlir.Type{sqlir.TypeText},
+		[]sqlir.Value{text("B")}, []sqlir.Value{text("A")})
+	if sketch.Satisfies(outOfOrder) {
+		t.Error("B before A violates order")
+	}
+}
+
+func TestSatisfiesLimit(t *testing.T) {
+	sketch := &TSQ{Limit: 2, Tuples: []Tuple{{Exact(text("A"))}}}
+	ok := mkResult([]sqlir.Type{sqlir.TypeText},
+		[]sqlir.Value{text("A")}, []sqlir.Value{text("B")})
+	if !sketch.Satisfies(ok) {
+		t.Error("2 rows within limit 2")
+	}
+	tooMany := mkResult([]sqlir.Type{sqlir.TypeText},
+		[]sqlir.Value{text("A")}, []sqlir.Value{text("B")}, []sqlir.Value{text("C")})
+	if sketch.Satisfies(tooMany) {
+		t.Error("3 rows exceed limit 2")
+	}
+}
+
+func TestSatisfiesNoConstraints(t *testing.T) {
+	empty := &TSQ{}
+	res := mkResult([]sqlir.Type{sqlir.TypeText}, []sqlir.Value{text("A")})
+	if !empty.Satisfies(res) {
+		t.Error("unconstrained TSQ satisfies everything")
+	}
+	if empty.Satisfies(nil) {
+		t.Error("nil result never satisfies")
+	}
+}
+
+func TestSatisfiesUnknownTypeAnnotation(t *testing.T) {
+	sketch := &TSQ{Types: []sqlir.Type{sqlir.TypeUnknown}}
+	res := mkResult([]sqlir.Type{sqlir.TypeText}, []sqlir.Value{text("A")})
+	if !sketch.Satisfies(res) {
+		t.Error("unknown annotation matches any type")
+	}
+}
+
+// Property: making a cell less specific (exact -> range -> empty) never
+// shrinks the set of satisfied results.
+func TestPropCellSpecificityMonotone(t *testing.T) {
+	vals := []sqlir.Value{num(5), num(10), num(15), text("x"), sqlir.Null()}
+	exact := Exact(num(10))
+	rng := Range(5, 15)
+	empty := Empty()
+	for _, v := range vals {
+		if exact.Matches(v) && !rng.Matches(v) {
+			t.Errorf("range should cover exact for %v", v)
+		}
+		if rng.Matches(v) && !empty.Matches(v) {
+			t.Errorf("empty should cover range for %v", v)
+		}
+	}
+}
+
+func TestTSQString(t *testing.T) {
+	s := kevinTSQ().String()
+	for _, want := range []string{"Forrest Gump", "[2010,2017]", "sorted=false", "limit=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,583 @@
+// Package verify implements the paper's ascending-cost cascading
+// verification (Algorithm 3): a sequence of checks on partial queries
+// ordered from cheapest (no database access) to most expensive (executing
+// verification queries), so large branches of the search space are pruned
+// before any database work is done.
+//
+// Stage order, as in Algorithm 3:
+//
+//	VerifyClauses      — sorting/limit flags vs the TSQ (no DB)
+//	VerifySemantics    — Table 4 semantic rules (no DB)
+//	VerifyColumnTypes  — projection types vs TSQ annotations (schema only)
+//	VerifyByColumn     — per-column existence of example cells (cheap DB)
+//	VerifyByRow        — per-tuple existence under the partial query (DB)
+//	VerifyLiterals     — complete queries must use all NLQ literals
+//	VerifyByOrder      — complete queries must satisfy the full TSQ
+//	                     (ordering, distinctness, limit) by execution
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/duoquest/duoquest/internal/semrules"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+	"github.com/duoquest/duoquest/internal/tsq"
+)
+
+// Stage names a verification stage.
+type Stage string
+
+// Stages in ascending cost order.
+const (
+	StageClauses     Stage = "clauses"
+	StageSemantics   Stage = "semantics"
+	StageColumnTypes Stage = "column-types"
+	StageByColumn    Stage = "by-column"
+	StageByRow       Stage = "by-row"
+	StageLiterals    Stage = "literals"
+	StageByOrder     Stage = "by-order"
+)
+
+// Outcome reports a verification decision.
+type Outcome struct {
+	OK     bool
+	Stage  Stage  // the stage that rejected (when !OK)
+	Reason string // human-readable rejection reason
+}
+
+func pass() Outcome { return Outcome{OK: true} }
+
+func fail(stage Stage, format string, args ...any) Outcome {
+	return Outcome{OK: false, Stage: stage, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Stats counts per-stage work for the cost-ordering analysis (§3.4).
+type Stats struct {
+	Checked     int           // total Verify calls
+	Rejected    map[Stage]int // rejections per stage
+	ColumnCache int           // column-check cache hits
+	DBQueries   int           // verification queries actually executed
+}
+
+// Verifier checks partial queries against a TSQ, the NLQ literals, and the
+// semantic rule set. A Verifier is not safe for concurrent use; create one
+// per synthesis task.
+type Verifier struct {
+	db       *storage.Database
+	rules    *semrules.RuleSet
+	sketch   *tsq.TSQ // nil disables TSQ checks (NLI mode)
+	literals []sqlir.Value
+
+	colCache map[string]bool // column-wise verification memo
+	rowCache map[string]bool // row-wise verification memo
+	joins    *sqlexec.JoinCache
+	stats    Stats
+}
+
+// New builds a verifier. sketch may be nil (no TSQ given); rules may be nil
+// to disable semantic pruning; literals may be empty.
+func New(db *storage.Database, rules *semrules.RuleSet, sketch *tsq.TSQ, literals []sqlir.Value) *Verifier {
+	return &Verifier{
+		db:       db,
+		rules:    rules,
+		sketch:   sketch,
+		literals: literals,
+		colCache: map[string]bool{},
+		rowCache: map[string]bool{},
+		joins:    sqlexec.NewJoinCache(db),
+		stats:    Stats{Rejected: map[Stage]int{}},
+	}
+}
+
+// Stats returns a copy of the per-stage counters.
+func (v *Verifier) Stats() Stats {
+	cp := v.stats
+	cp.Rejected = map[Stage]int{}
+	for k, n := range v.stats.Rejected {
+		cp.Rejected[k] = n
+	}
+	return cp
+}
+
+// Verify runs the full cascade of Algorithm 3 on a partial query.
+func (v *Verifier) Verify(q *sqlir.Query) (Outcome, error) {
+	v.stats.Checked++
+	out, err := v.verify(q)
+	if err != nil {
+		return out, err
+	}
+	if !out.OK {
+		v.stats.Rejected[out.Stage]++
+	}
+	return out, nil
+}
+
+func (v *Verifier) verify(q *sqlir.Query) (Outcome, error) {
+	if out := v.verifyClauses(q); !out.OK {
+		return out, nil
+	}
+	if out := v.verifySemantics(q); !out.OK {
+		return out, nil
+	}
+	if out := v.verifyColumnTypes(q); !out.OK {
+		return out, nil
+	}
+	out, err := v.verifyByColumn(q)
+	if err != nil || !out.OK {
+		return out, err
+	}
+	if v.canCheckRows(q) {
+		out, err = v.verifyByRow(q)
+		if err != nil || !out.OK {
+			return out, err
+		}
+	}
+	if q.Complete() {
+		if out := v.verifyLiterals(q); !out.OK {
+			return out, nil
+		}
+		out, err = v.verifyByOrder(q)
+		if err != nil || !out.OK {
+			return out, err
+		}
+	}
+	return pass(), nil
+}
+
+// verifyClauses checks the sorting flag and limit against the TSQ (Example
+// 3.3: a TSQ with τ=⊥ rejects any partial query carrying ORDER BY).
+func (v *Verifier) verifyClauses(q *sqlir.Query) Outcome {
+	if v.sketch == nil {
+		return pass()
+	}
+	if !v.sketch.Sorted && q.OrderByState != sqlir.ClauseAbsent {
+		return fail(StageClauses, "TSQ is unsorted but query has ORDER BY")
+	}
+	if v.sketch.Sorted && q.KWSet && q.OrderByState == sqlir.ClauseAbsent {
+		return fail(StageClauses, "TSQ is sorted but query decided against ORDER BY")
+	}
+	if q.LimitSet {
+		if v.sketch.Limit == 0 && q.Limit > 0 {
+			return fail(StageClauses, "TSQ has no limit but query has LIMIT %d", q.Limit)
+		}
+		if v.sketch.Limit > 0 && q.Limit == 0 {
+			return fail(StageClauses, "TSQ limits to %d rows but query has no LIMIT", v.sketch.Limit)
+		}
+		if v.sketch.Limit > 0 && q.Limit > v.sketch.Limit {
+			return fail(StageClauses, "query LIMIT %d exceeds TSQ limit %d", q.Limit, v.sketch.Limit)
+		}
+	}
+	return pass()
+}
+
+// verifySemantics applies the Table 4 rules.
+func (v *Verifier) verifySemantics(q *sqlir.Query) Outcome {
+	if v.rules == nil {
+		return pass()
+	}
+	if viol := v.rules.Check(q, v.db.Schema); viol != nil {
+		return fail(StageSemantics, "%s", viol.Error())
+	}
+	return pass()
+}
+
+// verifyColumnTypes compares decided projections against the TSQ type
+// annotations (Example 3.4).
+func (v *Verifier) verifyColumnTypes(q *sqlir.Query) Outcome {
+	if v.sketch == nil {
+		return pass()
+	}
+	w := v.sketch.Width()
+	if w == 0 {
+		return pass()
+	}
+	if q.SelectCountSet && len(q.Select) != w {
+		return fail(StageColumnTypes, "query projects %d columns, TSQ has %d", len(q.Select), w)
+	}
+	if len(q.Select) > w {
+		return fail(StageColumnTypes, "query already projects %d columns, TSQ has %d", len(q.Select), w)
+	}
+	if len(v.sketch.Types) == 0 {
+		return pass()
+	}
+	for i, s := range q.Select {
+		if !s.Complete() {
+			continue
+		}
+		want := v.sketch.Types[i]
+		if want == sqlir.TypeUnknown {
+			continue
+		}
+		colType, ok := v.db.Schema.Resolve(s.Col)
+		if !ok {
+			return fail(StageColumnTypes, "unknown column %s", s.Col)
+		}
+		got := s.Agg.ResultType(colType)
+		if got != want {
+			return fail(StageColumnTypes, "projection %d is %s, TSQ wants %s", i, got, want)
+		}
+	}
+	return pass()
+}
+
+// verifyByColumn checks each decided projection column-wise against the
+// example tuples (Example 3.5): the cell value (or range) must occur in the
+// projected column's own table. COUNT and SUM projections are skipped; AVG
+// is checked against the column's min/max range.
+func (v *Verifier) verifyByColumn(q *sqlir.Query) (Outcome, error) {
+	if v.sketch == nil || len(v.sketch.Tuples) == 0 {
+		return pass(), nil
+	}
+	for i, s := range q.Select {
+		if !s.Complete() || s.Col.IsStar() {
+			continue
+		}
+		switch s.Agg {
+		case sqlir.AggCount, sqlir.AggSum:
+			// No conclusion can be drawn for partial queries (§3.4).
+			continue
+		}
+		for ti, tp := range v.sketch.Tuples {
+			if i >= len(tp) {
+				break
+			}
+			cell := tp[i]
+			if cell.Kind == tsq.CellEmpty {
+				continue
+			}
+			ok, err := v.columnCellCheck(s.Agg, s.Col, cell)
+			if err != nil {
+				return pass(), err
+			}
+			if !ok {
+				return fail(StageByColumn,
+					"tuple %d cell %d (%s) has no match in %s", ti, i, cell, s.Col), nil
+			}
+		}
+	}
+	return pass(), nil
+}
+
+// columnCellCheck answers "does any value of col satisfy cell", memoized.
+func (v *Verifier) columnCellCheck(agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) (bool, error) {
+	key := fmt.Sprintf("%v|%s|%s", agg == sqlir.AggAvg, col, cell)
+	if got, ok := v.colCache[key]; ok {
+		v.stats.ColumnCache++
+		return got, nil
+	}
+	var ok bool
+	var err error
+	if agg == sqlir.AggAvg {
+		// The average lies within [min, max]: verification fails only if
+		// the cell cannot intersect that range.
+		st, serr := v.db.Stats(col)
+		if serr != nil {
+			return false, serr
+		}
+		ok = avgCellPossible(st, cell)
+	} else {
+		// Unaggregated, MIN and MAX projections produce exact column
+		// values: run SELECT 1 FROM t WHERE <cell constraint> LIMIT 1.
+		preds := cellPredicates(col, cell)
+		v.stats.DBQueries++
+		ok, err = v.joins.Exists(sqlexec.ExistsQuery{
+			From:  &sqlir.JoinPath{Tables: []string{col.Table}},
+			Conj:  sqlir.LogicAnd,
+			Preds: preds,
+		})
+		if err != nil {
+			return false, err
+		}
+	}
+	v.colCache[key] = ok
+	return ok, nil
+}
+
+// avgCellPossible checks intersection of the cell with the column's
+// [min, max] range.
+func avgCellPossible(st storage.ColumnStats, cell tsq.Cell) bool {
+	if st.NonNull == 0 {
+		return false
+	}
+	if st.Min.Kind != sqlir.KindNumber {
+		return false
+	}
+	lo, hi := st.Min.Num, st.Max.Num
+	switch cell.Kind {
+	case tsq.CellExact:
+		if cell.Val.Kind != sqlir.KindNumber {
+			return false
+		}
+		return cell.Val.Num >= lo && cell.Val.Num <= hi
+	case tsq.CellRange:
+		return cell.Hi.Num >= lo && cell.Lo.Num <= hi
+	default:
+		return true
+	}
+}
+
+// cellPredicates renders a cell as WHERE predicates on col.
+func cellPredicates(col sqlir.ColumnRef, cell tsq.Cell) []sqlir.Predicate {
+	switch cell.Kind {
+	case tsq.CellExact:
+		return []sqlir.Predicate{{
+			Col: col, ColSet: true, Op: sqlir.OpEq, OpSet: true,
+			Val: cell.Val, ValSet: true,
+		}}
+	case tsq.CellRange:
+		return []sqlir.Predicate{
+			{Col: col, ColSet: true, Op: sqlir.OpGe, OpSet: true, Val: cell.Lo, ValSet: true},
+			{Col: col, ColSet: true, Op: sqlir.OpLe, OpSet: true, Val: cell.Hi, ValSet: true},
+		}
+	default:
+		return nil
+	}
+}
+
+// canCheckRows enforces the precondition for row-wise verification: a join
+// path must exist, and a query with aggregated projections needs completed
+// WHERE and GROUP BY clauses, because filling their holes could change the
+// aggregates (§3.4).
+func (v *Verifier) canCheckRows(q *sqlir.Query) bool {
+	if v.sketch == nil || len(v.sketch.Tuples) == 0 {
+		return false
+	}
+	if q.From == nil {
+		return false
+	}
+	// At least one decided projection must carry a checkable constraint.
+	checkable := false
+	for i, s := range q.Select {
+		if !s.Complete() {
+			continue
+		}
+		for _, tp := range v.sketch.Tuples {
+			if i < len(tp) && tp[i].Kind != tsq.CellEmpty {
+				checkable = true
+			}
+		}
+	}
+	if !checkable {
+		return false
+	}
+	if len(q.AggregatedProjections()) > 0 {
+		if q.WhereState == sqlir.ClausePending {
+			return false
+		}
+		if q.WhereState == sqlir.ClausePresent && !q.Where.Complete() {
+			return false
+		}
+		if q.GroupByState == sqlir.ClausePending {
+			return false
+		}
+		if q.GroupByState == sqlir.ClausePresent && len(q.GroupBy) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyByRow runs one row-wise verification query per example tuple
+// (Example 3.6): the cell constraints of all decided projections must be
+// satisfied by a single joined row (or group). The query retains the partial
+// query's own predicates whenever doing so is sound (AND semantics), and
+// drops them otherwise so the check runs against a superset — a failure
+// then still soundly prunes every completion.
+func (v *Verifier) verifyByRow(q *sqlir.Query) (Outcome, error) {
+	basePreds, baseConj := soundPredicates(q)
+	var baseHavings []sqlir.HavingExpr
+	if q.GroupByState == sqlir.ClausePresent && q.HavingState == sqlir.ClausePresent &&
+		q.Having.Complete() {
+		baseHavings = append(baseHavings, q.Having)
+	}
+	var groupBy []sqlir.ColumnRef
+	if q.GroupByState == sqlir.ClausePresent {
+		groupBy = q.GroupBy
+	}
+	hasAgg := len(q.AggregatedProjections()) > 0
+
+	for ti, tp := range v.sketch.Tuples {
+		eq := sqlexec.ExistsQuery{
+			From:    q.From,
+			Conj:    baseConj,
+			Preds:   basePreds,
+			GroupBy: groupBy,
+		}
+		eq.Havings = append(eq.Havings, baseHavings...)
+		constrained := false
+		for i, s := range q.Select {
+			if !s.Complete() || i >= len(tp) {
+				continue
+			}
+			cell := tp[i]
+			if cell.Kind == tsq.CellEmpty {
+				continue
+			}
+			if s.Agg == sqlir.AggNone {
+				if !q.From.Contains(s.Col.Table) {
+					return fail(StageByRow, "projection %s outside join path", s.Col), nil
+				}
+				eq.AndPreds = append(eq.AndPreds, cellPredicates(s.Col, cell)...)
+				constrained = true
+			} else {
+				// Aggregated projections move to HAVING (RV2). Only
+				// sound when grouping semantics are fixed.
+				if !hasAgg {
+					continue
+				}
+				eq.Havings = append(eq.Havings, cellHavings(s.Agg, s.Col, cell)...)
+				constrained = true
+			}
+		}
+		if !constrained {
+			continue
+		}
+		// Sibling states (e.g. differing only in ORDER BY decisions) issue
+		// identical row checks; memoize by query signature.
+		sig := existsSig(eq)
+		ok, hit := v.rowCache[sig]
+		if !hit {
+			var err error
+			v.stats.DBQueries++
+			ok, err = v.joins.Exists(eq)
+			if err != nil {
+				return pass(), err
+			}
+			v.rowCache[sig] = ok
+		}
+		if !ok {
+			return fail(StageByRow, "tuple %d %s has no satisfying row", ti, tp), nil
+		}
+	}
+	return pass(), nil
+}
+
+// soundPredicates returns the subset of the partial query's WHERE clause
+// that can be conjoined with cell constraints without excluding any
+// completion's results:
+//
+//   - complete WHERE: use it verbatim;
+//   - incomplete with AND semantics: the decided predicates (adding the
+//     remaining ones later can only shrink the result);
+//   - incomplete with OR or undecided connective: nothing (a later OR arm
+//     can only grow the result, so the sound superset drops the clause).
+func soundPredicates(q *sqlir.Query) ([]sqlir.Predicate, sqlir.LogicalOp) {
+	if q.WhereState != sqlir.ClausePresent {
+		return nil, sqlir.LogicAnd
+	}
+	var decided []sqlir.Predicate
+	for _, p := range q.Where.Preds {
+		if p.Complete() {
+			decided = append(decided, p)
+		}
+	}
+	if q.Where.Complete() {
+		conj := q.Where.Conj
+		if len(q.Where.Preds) == 1 {
+			conj = sqlir.LogicAnd
+		}
+		return decided, conj
+	}
+	andLike := (q.Where.ConjSet && q.Where.Conj == sqlir.LogicAnd) ||
+		(q.Where.CountSet && len(q.Where.Preds) == 1)
+	if andLike {
+		return decided, sqlir.LogicAnd
+	}
+	return nil, sqlir.LogicAnd
+}
+
+// cellHavings renders a cell as HAVING constraints on agg(col).
+func cellHavings(agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) []sqlir.HavingExpr {
+	mk := func(op sqlir.Op, val sqlir.Value) sqlir.HavingExpr {
+		return sqlir.HavingExpr{
+			Agg: agg, AggSet: true, Col: col, ColSet: true,
+			Op: op, OpSet: true, Val: val, ValSet: true,
+		}
+	}
+	switch cell.Kind {
+	case tsq.CellExact:
+		return []sqlir.HavingExpr{mk(sqlir.OpEq, cell.Val)}
+	case tsq.CellRange:
+		return []sqlir.HavingExpr{mk(sqlir.OpGe, cell.Lo), mk(sqlir.OpLe, cell.Hi)}
+	default:
+		return nil
+	}
+}
+
+// existsSig renders an exists query as a memo key.
+func existsSig(eq sqlexec.ExistsQuery) string {
+	var b strings.Builder
+	if eq.From != nil {
+		for _, t := range eq.From.Tables {
+			b.WriteString(t)
+			b.WriteByte(',')
+		}
+		for _, e := range eq.From.Edges {
+			b.WriteString(e.String())
+			b.WriteByte(',')
+		}
+	}
+	b.WriteByte('|')
+	b.WriteString(eq.Conj.String())
+	for _, p := range eq.Preds {
+		b.WriteString(p.String())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, p := range eq.AndPreds {
+		b.WriteString(p.String())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, g := range eq.GroupBy {
+		b.WriteString(g.String())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, h := range eq.Havings {
+		b.WriteString(h.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// verifyLiterals requires a complete query to use every literal tagged in
+// the NLQ.
+func (v *Verifier) verifyLiterals(q *sqlir.Query) Outcome {
+	used := q.Literals()
+	for _, lit := range v.literals {
+		found := false
+		for _, u := range used {
+			if u.Equal(lit) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fail(StageLiterals, "literal %s unused", lit)
+		}
+	}
+	return pass()
+}
+
+// verifyByOrder executes the complete query and checks full TSQ
+// satisfaction — Definition 2.4's distinct matching, ordering (when τ=⊤ and
+// at least two tuples exist), and row limit. This is the final soundness
+// gate: every emitted candidate satisfies the TSQ.
+func (v *Verifier) verifyByOrder(q *sqlir.Query) (Outcome, error) {
+	if v.sketch == nil {
+		return pass(), nil
+	}
+	v.stats.DBQueries++
+	res, err := v.joins.Execute(q)
+	if err != nil {
+		return pass(), err
+	}
+	if !v.sketch.Satisfies(res) {
+		return fail(StageByOrder, "result does not satisfy the TSQ"), nil
+	}
+	return pass(), nil
+}
