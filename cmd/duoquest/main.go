@@ -13,8 +13,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,38 +32,56 @@ func (s *stringList) String() string     { return strings.Join(*s, ";") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes one CLI action,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("duoquest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dbName   = flag.String("db", "mas", "database: mas | spider-dev:<i> | spider-test:<i>")
-		nlq      = flag.String("nlq", "", "natural language query")
-		types    = flag.String("types", "", "TSQ type annotations, e.g. text,number")
-		sorted   = flag.Bool("sorted", false, "TSQ sorted flag (results must be ordered)")
-		limit    = flag.Int("limit", 0, "TSQ top-k limit (0 = none)")
-		topk     = flag.Int("k", 5, "candidates to display")
-		budget   = flag.Duration("budget", 3*time.Second, "search budget")
-		complete = flag.String("complete", "", "run autocomplete for a prefix and exit")
+		dbName   = fs.String("db", "mas", "database: mas | movies | spider-dev:<i> | spider-test:<i>")
+		nlq      = fs.String("nlq", "", "natural language query")
+		types    = fs.String("types", "", "TSQ type annotations, e.g. text,number")
+		sorted   = fs.Bool("sorted", false, "TSQ sorted flag (results must be ordered)")
+		limit    = fs.Int("limit", 0, "TSQ top-k limit (0 = none)")
+		topk     = fs.Int("k", 5, "candidates to display")
+		budget   = fs.Duration("budget", 3*time.Second, "search budget")
+		workers  = fs.Int("workers", 0, "verification workers (0 = GOMAXPROCS, 1 = sequential)")
+		complete = fs.String("complete", "", "run autocomplete for a prefix and exit")
 		lits     stringList
 		tuples   stringList
 	)
-	flag.Var(&lits, "lit", "tagged literal (repeatable); numbers are parsed as numeric")
-	flag.Var(&tuples, "tuple", "TSQ example tuple, comma-separated cells (repeatable); _ = empty, [a,b] = range")
-	flag.Parse()
+	fs.Var(&lits, "lit", "tagged literal (repeatable); numbers are parsed as numeric")
+	fs.Var(&tuples, "tuple", "TSQ example tuple, comma-separated cells (repeatable); _ = empty, [a;b] = range")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	db, err := loadDB(*dbName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duoquest:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "duoquest:", err)
+		return 1
 	}
-	syn := duoquest.New(db, duoquest.WithBudget(*budget), duoquest.WithMaxCandidates(*topk))
+	syn := duoquest.New(db,
+		duoquest.WithBudget(*budget),
+		duoquest.WithMaxCandidates(*topk),
+		duoquest.WithWorkers(*workers),
+	)
 
 	if *complete != "" {
 		for _, hit := range syn.Autocomplete(*complete, 10) {
-			fmt.Printf("%-40s %s.%s\n", hit.Value, hit.Table, hit.Column)
+			fmt.Fprintf(stdout, "%-40s %s.%s\n", hit.Value, hit.Table, hit.Column)
 		}
-		return
+		return 0
 	}
 	if *nlq == "" {
-		fmt.Fprintln(os.Stderr, "duoquest: -nlq is required (or use -complete)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "duoquest: -nlq is required (or use -complete)")
+		return 2
 	}
 
 	input := duoquest.Input{NLQ: *nlq}
@@ -70,22 +90,22 @@ func main() {
 	}
 	sketch, err := parseSketch(*types, tuples, *sorted, *limit)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duoquest:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "duoquest:", err)
+		return 2
 	}
 	input.Sketch = sketch
 
 	res, err := syn.Synthesize(context.Background(), input)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duoquest:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "duoquest:", err)
+		return 1
 	}
 	if len(res.Candidates) == 0 {
-		fmt.Println("no candidate queries found within budget")
-		return
+		fmt.Fprintln(stdout, "no candidate queries found within budget")
+		return 0
 	}
 	for _, c := range res.Candidates {
-		fmt.Printf("#%d (%.4f) %s\n", c.Rank, c.Confidence, c.Query)
+		fmt.Fprintf(stdout, "#%d (%.4f) %s\n", c.Rank, c.Confidence, c.Query)
 		preview, err := syn.Preview(c.Query, 5)
 		if err != nil {
 			continue
@@ -95,16 +115,20 @@ func main() {
 			for i, v := range row {
 				cells[i] = v.Display()
 			}
-			fmt.Printf("    %s\n", strings.Join(cells, " | "))
+			fmt.Fprintf(stdout, "    %s\n", strings.Join(cells, " | "))
 		}
 	}
-	fmt.Printf("(%d states in %v)\n", res.States, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "(%d states in %v)\n", res.States, res.Elapsed.Round(time.Millisecond))
+	return 0
 }
 
 // loadDB resolves the -db flag.
 func loadDB(name string) (*duoquest.Database, error) {
 	if name == "mas" {
 		return dataset.MAS(), nil
+	}
+	if name == "movies" {
+		return dataset.Movies(), nil
 	}
 	for _, prefix := range []string{"spider-dev:", "spider-test:"} {
 		if strings.HasPrefix(name, prefix) {

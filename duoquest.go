@@ -159,6 +159,7 @@ type config struct {
 	budget        time.Duration
 	maxCandidates int
 	maxStates     int
+	workers       int
 }
 
 // Option configures a Synthesizer.
@@ -182,6 +183,13 @@ func WithMaxCandidates(n int) Option { return func(c *config) { c.maxCandidates 
 
 // WithMaxStates caps the number of explored search states.
 func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// WithWorkers bounds the verification worker pool: dequeued search states
+// fan out to n workers for TSQ verification while enumeration order stays
+// single-threaded and deterministic, so results are identical to the
+// sequential engine's. 0 (the default) uses runtime.GOMAXPROCS(0); 1
+// verifies inline on the search goroutine.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // Synthesizer is the Duoquest engine bound to one database. It is safe to
 // reuse across requests (each request builds its own verifier); it is not
@@ -228,6 +236,7 @@ func (s *Synthesizer) SynthesizeStream(ctx context.Context, in Input, emit func(
 		MaxCandidates: s.cfg.maxCandidates,
 		MaxStates:     s.cfg.maxStates,
 		Budget:        s.cfg.budget,
+		Workers:       s.cfg.workers,
 	})
 	return e.Enumerate(ctx, in.NLQ, in.Literals, emit)
 }

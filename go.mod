@@ -1,0 +1,3 @@
+module github.com/duoquest/duoquest
+
+go 1.24.0

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// Movies builds the paper's §2 motivating-example database (actors, movies,
+// starring): the tiny demo target behind `cmd/duoquest -db movies`, small
+// enough that any synthesis completes in milliseconds.
+func Movies() *storage.Database {
+	actor := storage.NewTable("actor", "aid",
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+		storage.Column{Name: "gender", Type: sqlir.TypeText},
+		storage.Column{Name: "birth_yr", Type: sqlir.TypeNumber},
+	)
+	movie := storage.NewTable("movie", "mid",
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "title", Type: sqlir.TypeText},
+		storage.Column{Name: "year", Type: sqlir.TypeNumber},
+	)
+	starring := storage.NewTable("starring", "sid",
+		storage.Column{Name: "sid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "aid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "mid", Type: sqlir.TypeNumber},
+	)
+	schema := storage.NewSchema(actor, movie, starring)
+	schema.AddForeignKey("starring", "aid", "actor", "aid")
+	schema.AddForeignKey("starring", "mid", "movie", "mid")
+
+	actors := []struct {
+		name, gender string
+		birth        float64
+	}{
+		{"Tom Hanks", "male", 1956},
+		{"Sandra Bullock", "female", 1964},
+		{"Brad Pitt", "male", 1963},
+		{"Meryl Streep", "female", 1949},
+	}
+	for i, x := range actors {
+		actor.MustInsert(num(float64(i+1)), text(x.name), text(x.gender), num(x.birth))
+	}
+	movies := []struct {
+		title string
+		year  float64
+	}{
+		{"Forrest Gump", 1994},
+		{"Gravity", 2013},
+		{"Fight Club", 1999},
+		{"Cast Away", 2000},
+		{"The Post", 2017},
+	}
+	for i, x := range movies {
+		movie.MustInsert(num(float64(i+1)), text(x.title), num(x.year))
+	}
+	for i, l := range [][2]float64{{1, 1}, {2, 2}, {3, 3}, {1, 4}, {4, 5}} {
+		starring.MustInsert(num(float64(i+1)), num(l[0]), num(l[1]))
+	}
+	return storage.NewDatabase("movies", schema)
+}

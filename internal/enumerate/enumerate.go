@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"github.com/duoquest/duoquest/internal/guidance"
@@ -65,6 +66,13 @@ type Options struct {
 	// definition §3.3.3 discusses (it removes the preference for shorter
 	// queries at the cost of Property 1). Off by default, as in the paper.
 	GeoMeanPriority bool
+	// Workers bounds the verification worker pool. Each dequeued state's
+	// children fan out to the pool for ascending-cost cascading
+	// verification (§3.4, the enumeration hot path) while the priority
+	// queue and guidance scoring stay single-threaded, so the emitted
+	// candidate set and order are identical to the sequential engine's.
+	// 0 defaults to runtime.GOMAXPROCS(0); 1 verifies inline.
+	Workers int
 }
 
 // Candidate is one emitted complete query.
@@ -160,6 +168,9 @@ func New(db *storage.Database, model guidance.Model, verifier *verify.Verifier, 
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 500000
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Enumerator{
 		db:       db,
 		graph:    schemagraph.New(db.Schema),
@@ -182,6 +193,17 @@ func (e *Enumerator) Enumerate(ctx context.Context, nlq string, literals []sqlir
 	pq := &stateQueue{noGuide: e.opts.Mode == ModeNoGuide, geoMean: e.opts.GeoMeanPriority}
 	root := &state{q: sqlir.NewQuery(), logConf: 0}
 	heap.Push(pq, root)
+
+	// needVerify reports whether a child state runs the verification
+	// cascade: always under GPQE/NoGuide; only complete queries under NoPQ.
+	needVerify := func(c *state) bool {
+		return e.opts.Mode != ModeNoPQ || c.q.Complete()
+	}
+	var pool *verifyPool
+	if e.opts.Workers > 1 {
+		pool = newVerifyPool(ctx, e.verifier, e.opts.Workers)
+		defer pool.close()
+	}
 
 	res := &Result{}
 	seen := map[string]bool{} // canonical dedup of emitted candidates
@@ -209,9 +231,28 @@ func (e *Enumerator) Enumerate(ctx context.Context, nlq string, literals []sqlir
 		if err != nil {
 			return res, err
 		}
-		for _, c := range children {
-			if e.opts.Mode != ModeNoPQ || c.q.Complete() {
-				out, err := e.verifier.Verify(c.q)
+		// With a pool, the whole expansion fans out at once and the
+		// reordering buffer restores child order; otherwise each child is
+		// verified inline exactly as the sequential engine does. Either
+		// way, results are consumed in child order below, so emitted
+		// candidates and queue contents are identical in both modes.
+		var batch []verifyResult
+		if pool != nil && len(children) > 1 {
+			batch = pool.verifyBatch(children, needVerify)
+		}
+		for i, c := range children {
+			if needVerify(c) {
+				var out verify.Outcome
+				if batch != nil {
+					r := batch[i]
+					if r.cancelled {
+						res.Elapsed = time.Since(start)
+						return res, nil
+					}
+					out, err = r.out, r.err
+				} else {
+					out, err = e.verifier.Verify(c.q)
+				}
 				if err != nil {
 					return res, err
 				}

@@ -89,7 +89,10 @@ func runTask(t *testing.T, db *storage.Database, model guidance.Model, sketch *t
 	nlq string, lits []sqlir.Value, gold *sqlir.Query, mode Mode) (int, *Result) {
 	t.Helper()
 	v := verify.New(db, semrules.Default(), sketch, lits)
-	e := New(db, model, v, Options{Mode: mode, MaxCandidates: 100, Budget: 5 * time.Second})
+	// 30s is a ceiling, not the expected runtime: searches stop at the gold
+	// query or the candidate cap (well under a second normally; the slack
+	// absorbs the -race slowdown on loaded runners).
+	e := New(db, model, v, Options{Mode: mode, MaxCandidates: 100, Budget: 30 * time.Second})
 	goldRank := 0
 	res, err := e.Enumerate(context.Background(), nlq, lits, func(c Candidate) bool {
 		if goldRank == 0 && sqlir.Equivalent(c.Query, gold) {

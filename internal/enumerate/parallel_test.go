@@ -1,0 +1,212 @@
+package enumerate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/guidance"
+	"github.com/duoquest/duoquest/internal/semrules"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/tsq"
+	"github.com/duoquest/duoquest/internal/verify"
+)
+
+// enumerateWith runs one search with the given worker count and renders the
+// emitted candidates as "rank confidence canonical-sql" lines.
+func enumerateWith(t *testing.T, workers int, mode Mode, sketch *tsq.TSQ,
+	nlq string, lits []sqlir.Value, maxCand int) ([]string, *Result) {
+	t.Helper()
+	db := movieDB()
+	v := verify.New(db, semrules.Default(), sketch, lits)
+	// No wall-clock budget: termination is by candidate count or the state
+	// cap, both deterministic, so sequential and parallel runs are exactly
+	// comparable (a time budget would cut the faster run at a different
+	// state count).
+	e := New(db, guidance.NewLexicalModel(), v, Options{
+		Mode:          mode,
+		MaxCandidates: maxCand,
+		MaxStates:     20000,
+		Workers:       workers,
+	})
+	res, err := e.Enumerate(context.Background(), nlq, lits, nil)
+	if err != nil {
+		t.Fatalf("enumerate (workers=%d): %v", workers, err)
+	}
+	var out []string
+	for _, c := range res.Candidates {
+		out = append(out, fmt.Sprintf("%d %.12f %s", c.Rank, c.Confidence, c.Query.Canonical()))
+	}
+	return out, res
+}
+
+// TestParallelMatchesSequential: for every enumeration mode and a range of
+// query shapes, the parallel engine emits exactly the candidate list of the
+// sequential engine — same queries, same confidences, same ranks. This is
+// the equivalence the worker pool's reordering buffer guarantees.
+func TestParallelMatchesSequential(t *testing.T) {
+	db := movieDB()
+	tasks := []struct {
+		nlq  string
+		sql  string
+		lits []sqlir.Value
+	}{
+		{"all movie titles", "SELECT title FROM movie", nil},
+		{"titles of movies before 1995", "SELECT title FROM movie WHERE year < 1995", []sqlir.Value{num(1995)}},
+		{"movies before 1995 or after 2000",
+			"SELECT title FROM movie WHERE year < 1995 OR year > 2000", []sqlir.Value{num(1995), num(2000)}},
+		{"actors and number of movies each",
+			"SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON s.aid = a.aid GROUP BY a.name", nil},
+		{"top 2 movies by revenue",
+			"SELECT title FROM movie ORDER BY revenue DESC LIMIT 2", []sqlir.Value{num(2)}},
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 4
+	}
+	for _, mode := range []Mode{ModeGPQE, ModeNoPQ, ModeNoGuide} {
+		for _, task := range tasks {
+			gold := sqlparse.MustParse(db.Schema, task.sql)
+			sketch := synthTSQ(t, db, gold)
+			seq, seqRes := enumerateWith(t, 1, mode, sketch, task.nlq, task.lits, 15)
+			par, parRes := enumerateWith(t, workers, mode, sketch, task.nlq, task.lits, 15)
+			if len(seq) != len(par) {
+				t.Errorf("%s %q: %d sequential vs %d parallel candidates",
+					mode, task.sql, len(seq), len(par))
+				continue
+			}
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Errorf("%s %q: candidate %d differs:\nseq: %s\npar: %s",
+						mode, task.sql, i, seq[i], par[i])
+				}
+			}
+			if seqRes.States != parRes.States {
+				t.Errorf("%s %q: states %d vs %d", mode, task.sql, seqRes.States, parRes.States)
+			}
+			if seqRes.Exhausted != parRes.Exhausted {
+				t.Errorf("%s %q: exhausted %v vs %v", mode, task.sql, seqRes.Exhausted, parRes.Exhausted)
+			}
+		}
+	}
+}
+
+// TestParallelNLIMode: equivalence also holds with no sketch at all (NLI
+// baseline), where only the cheap no-database stages run.
+func TestParallelNLIMode(t *testing.T) {
+	lits := []sqlir.Value{num(1995)}
+	seq, _ := enumerateWith(t, 1, ModeGPQE, nil, "movies before 1995", lits, 15)
+	par, _ := enumerateWith(t, 8, ModeGPQE, nil, "movies before 1995", lits, 15)
+	if len(seq) == 0 {
+		t.Fatal("no candidates")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("%d sequential vs %d parallel candidates", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("candidate %d differs:\nseq: %s\npar: %s", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestParallelSoundness: every candidate emitted by the parallel engine
+// still satisfies the TSQ (Table 1's soundness guarantee must survive the
+// concurrency change).
+func TestParallelSoundness(t *testing.T) {
+	db := movieDB()
+	gold := sqlparse.MustParse(db.Schema, "SELECT title, year FROM movie WHERE year > 2000")
+	sketch := synthTSQ(t, db, gold)
+	lits := []sqlir.Value{num(2000)}
+	v := verify.New(db, semrules.Default(), sketch, lits)
+	e := New(db, guidance.NewLexicalModel(), v, Options{
+		MaxCandidates: 50, Budget: 10 * time.Second, Workers: 8,
+	})
+	res, err := e.Enumerate(context.Background(), "movies after 2000 with their years", lits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range res.Candidates {
+		r, err := sqlexec.Execute(db, c.Query)
+		if err != nil {
+			t.Fatalf("candidate %s: %v", c.Query, err)
+		}
+		if !sketch.Satisfies(r) {
+			t.Errorf("unsound candidate emitted: %s", c.Query)
+		}
+	}
+}
+
+// TestParallelEmitStop: the emit callback still runs on the search
+// goroutine and stopping early terminates the pool cleanly.
+func TestParallelEmitStop(t *testing.T) {
+	db := movieDB()
+	v := verify.New(db, semrules.Default(), nil, nil)
+	e := New(db, guidance.NewLexicalModel(), v, Options{Budget: 5 * time.Second, Workers: 8})
+	count := 0
+	res, err := e.Enumerate(context.Background(), "movie titles", nil, func(c Candidate) bool {
+		count++
+		return count < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || len(res.Candidates) != 3 {
+		t.Errorf("count = %d, candidates = %d", count, len(res.Candidates))
+	}
+}
+
+// TestParallelContextCancellation: a cancelled context stops a parallel
+// search promptly and without leaking workers.
+func TestParallelContextCancellation(t *testing.T) {
+	db := movieDB()
+	v := verify.New(db, semrules.Default(), nil, nil)
+	e := New(db, guidance.NewLexicalModel(), v, Options{Workers: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.Enumerate(ctx, "movies", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States > 1 {
+		t.Errorf("cancelled run explored %d states", res.States)
+	}
+}
+
+// TestSharedVerifierConcurrentEnumerations: distinct enumerators sharing one
+// verifier (and thus one join/memo cache) may run concurrently — the
+// verifier's memos are the shared mutable state the pool leans on, so hammer
+// them from several full searches at once. Run with -race to make this a
+// data-race test.
+func TestSharedVerifierConcurrentEnumerations(t *testing.T) {
+	db := movieDB()
+	gold := sqlparse.MustParse(db.Schema, "SELECT title FROM movie WHERE year < 1995")
+	sketch := synthTSQ(t, db, gold)
+	lits := []sqlir.Value{num(1995)}
+	v := verify.New(db, semrules.Default(), sketch, lits)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := New(db, guidance.NewLexicalModel(), v, Options{
+				MaxCandidates: 20, Budget: 10 * time.Second, Workers: 4,
+			})
+			if _, err := e.Enumerate(context.Background(), "movies before 1995", lits, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := v.Stats(); st.Checked == 0 {
+		t.Error("verifier saw no checks")
+	}
+}

@@ -1,0 +1,90 @@
+package enumerate
+
+import (
+	"context"
+	"sync"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/verify"
+)
+
+// verifyJob is one candidate state handed to the pool. idx is the child's
+// position within its expansion batch, so results arriving out of order can
+// be reassembled into the sequential engine's processing order.
+type verifyJob struct {
+	idx int
+	q   *sqlir.Query
+	out chan<- verifyResult
+}
+
+// verifyResult is one verification outcome fed back to the search loop.
+type verifyResult struct {
+	idx       int
+	out       verify.Outcome
+	err       error
+	cancelled bool
+}
+
+// verifyPool is a bounded pool of workers running TSQ verification
+// concurrently. Ascending-cost cascading verification dominates GPQE
+// wall-clock (§3.4), so it is the one stage worth fanning out; the priority
+// queue and guidance scoring stay on the enumerator's goroutine to keep the
+// paper's best-first order deterministic. A pool is bound to one Enumerate
+// call and must be closed when the search ends.
+type verifyPool struct {
+	jobs chan verifyJob
+	wg   sync.WaitGroup
+}
+
+// newVerifyPool starts n workers verifying against v. Workers exit when the
+// pool is closed; a cancelled context makes them report cancellation
+// instead of verifying, so a cancelled search drains quickly.
+func newVerifyPool(ctx context.Context, v *verify.Verifier, n int) *verifyPool {
+	p := &verifyPool{jobs: make(chan verifyJob)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				if ctx.Err() != nil {
+					j.out <- verifyResult{idx: j.idx, cancelled: true}
+					continue
+				}
+				out, err := v.Verify(j.q)
+				j.out <- verifyResult{idx: j.idx, out: out, err: err}
+			}
+		}()
+	}
+	return p
+}
+
+// verifyBatch fans one expansion's children out to the workers and collects
+// the outcomes into a slice aligned with states — the reordering buffer that
+// keeps emission order identical to the sequential engine. Children for
+// which needVerify reports false are left as zero values and must not be
+// consulted by the caller.
+func (p *verifyPool) verifyBatch(states []*state, needVerify func(*state) bool) []verifyResult {
+	results := make([]verifyResult, len(states))
+	// Buffered to the batch size so workers never block feeding results
+	// back while jobs are still being dispatched.
+	resCh := make(chan verifyResult, len(states))
+	dispatched := 0
+	for i, s := range states {
+		if !needVerify(s) {
+			continue
+		}
+		p.jobs <- verifyJob{idx: i, q: s.q, out: resCh}
+		dispatched++
+	}
+	for k := 0; k < dispatched; k++ {
+		r := <-resCh
+		results[r.idx] = r
+	}
+	return results
+}
+
+// close shuts the pool down and waits for all workers to exit.
+func (p *verifyPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/storage"
@@ -11,19 +12,36 @@ import (
 // JoinCache memoizes materialized join paths so the verifier's many
 // verification queries over the same FROM clause share one join computation
 // (§3.4's cost concern: executing verification queries dominates). A cache
-// is bound to one database snapshot and is not safe for concurrent use.
+// is bound to one database snapshot and is safe for concurrent use: the
+// enumerator's verification worker pool issues overlapping Exists/Execute
+// calls, and concurrent requests for the same join path share a single
+// materialization instead of duplicating it.
 type JoinCache struct {
 	db *storage.Database
-	m  map[string]*relation
+	mu sync.Mutex
+	m  map[string]*joinEntry
+}
+
+// joinEntry is one memoized join: the sync.Once gates materialization so
+// that concurrent first requests for a signature compute the join once and
+// everyone else blocks until it is ready.
+type joinEntry struct {
+	once sync.Once
+	rel  *relation
+	err  error
 }
 
 // NewJoinCache builds a cache for a database.
 func NewJoinCache(db *storage.Database) *JoinCache {
-	return &JoinCache{db: db, m: map[string]*relation{}}
+	return &JoinCache{db: db, m: map[string]*joinEntry{}}
 }
 
 // Size returns the number of cached join paths.
-func (c *JoinCache) Size() int { return len(c.m) }
+func (c *JoinCache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
 
 // joinSig canonically identifies a join path (table set + edge set).
 func joinSig(jp *sqlir.JoinPath) string {
@@ -48,15 +66,15 @@ func joinSig(jp *sqlir.JoinPath) string {
 // materialize returns the (cached) joined relation for a path.
 func (c *JoinCache) materialize(jp *sqlir.JoinPath) (*relation, error) {
 	sig := joinSig(jp)
-	if rel, ok := c.m[sig]; ok {
-		return rel, nil
+	c.mu.Lock()
+	e, ok := c.m[sig]
+	if !ok {
+		e = &joinEntry{}
+		c.m[sig] = e
 	}
-	rel, err := join(c.db, jp)
-	if err != nil {
-		return nil, err
-	}
-	c.m[sig] = rel
-	return rel, nil
+	c.mu.Unlock()
+	e.once.Do(func() { e.rel, e.err = join(c.db, jp) })
+	return e.rel, e.err
 }
 
 // Exists is Exists with join memoization.

@@ -19,6 +19,7 @@ package verify
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/duoquest/duoquest/internal/semrules"
 	"github.com/duoquest/duoquest/internal/sqlexec"
@@ -63,18 +64,55 @@ type Stats struct {
 }
 
 // Verifier checks partial queries against a TSQ, the NLQ literals, and the
-// semantic rule set. A Verifier is not safe for concurrent use; create one
-// per synthesis task.
+// semantic rule set. A Verifier is safe for concurrent use: the enumerator's
+// verification worker pool calls Verify from many goroutines, sharing the
+// column-wise, row-wise, and join memos (concurrent first checks of the same
+// key share one database query). Create one per synthesis task — the memos
+// are only valid against one database snapshot and one sketch.
 type Verifier struct {
 	db       *storage.Database
 	rules    *semrules.RuleSet
 	sketch   *tsq.TSQ // nil disables TSQ checks (NLI mode)
 	literals []sqlir.Value
 
-	colCache map[string]bool // column-wise verification memo
-	rowCache map[string]bool // row-wise verification memo
+	colCache boolMemo // column-wise verification memo
+	rowCache boolMemo // row-wise verification memo
 	joins    *sqlexec.JoinCache
-	stats    Stats
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// boolMemo memoizes a keyed boolean computation. Concurrent first lookups of
+// a key share one computation: the loser of the map race blocks on the
+// winner's sync.Once instead of re-running the (possibly expensive
+// database) check.
+type boolMemo struct {
+	mu sync.Mutex
+	m  map[string]*boolEntry
+}
+
+type boolEntry struct {
+	once sync.Once
+	val  bool
+	err  error
+}
+
+// do returns the memoized value for key, computing it at most once across
+// all callers. hit reports whether the entry already existed.
+func (bm *boolMemo) do(key string, f func() (bool, error)) (val, hit bool, err error) {
+	bm.mu.Lock()
+	if bm.m == nil {
+		bm.m = map[string]*boolEntry{}
+	}
+	e, ok := bm.m[key]
+	if !ok {
+		e = &boolEntry{}
+		bm.m[key] = e
+	}
+	bm.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, ok, e.err
 }
 
 // New builds a verifier. sketch may be nil (no TSQ given); rules may be nil
@@ -85,8 +123,6 @@ func New(db *storage.Database, rules *semrules.RuleSet, sketch *tsq.TSQ, literal
 		rules:    rules,
 		sketch:   sketch,
 		literals: literals,
-		colCache: map[string]bool{},
-		rowCache: map[string]bool{},
 		joins:    sqlexec.NewJoinCache(db),
 		stats:    Stats{Rejected: map[Stage]int{}},
 	}
@@ -94,6 +130,8 @@ func New(db *storage.Database, rules *semrules.RuleSet, sketch *tsq.TSQ, literal
 
 // Stats returns a copy of the per-stage counters.
 func (v *Verifier) Stats() Stats {
+	v.statsMu.Lock()
+	defer v.statsMu.Unlock()
 	cp := v.stats
 	cp.Rejected = map[Stage]int{}
 	for k, n := range v.stats.Rejected {
@@ -102,15 +140,26 @@ func (v *Verifier) Stats() Stats {
 	return cp
 }
 
+// countDBQuery bumps the executed-verification-query counter.
+func (v *Verifier) countDBQuery() {
+	v.statsMu.Lock()
+	v.stats.DBQueries++
+	v.statsMu.Unlock()
+}
+
 // Verify runs the full cascade of Algorithm 3 on a partial query.
 func (v *Verifier) Verify(q *sqlir.Query) (Outcome, error) {
+	v.statsMu.Lock()
 	v.stats.Checked++
+	v.statsMu.Unlock()
 	out, err := v.verify(q)
 	if err != nil {
 		return out, err
 	}
 	if !out.OK {
+		v.statsMu.Lock()
 		v.stats.Rejected[out.Stage]++
+		v.statsMu.Unlock()
 	}
 	return out, nil
 }
@@ -264,35 +313,34 @@ func (v *Verifier) verifyByColumn(q *sqlir.Query) (Outcome, error) {
 // columnCellCheck answers "does any value of col satisfy cell", memoized.
 func (v *Verifier) columnCellCheck(agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) (bool, error) {
 	key := fmt.Sprintf("%v|%s|%s", agg == sqlir.AggAvg, col, cell)
-	if got, ok := v.colCache[key]; ok {
-		v.stats.ColumnCache++
-		return got, nil
-	}
-	var ok bool
-	var err error
-	if agg == sqlir.AggAvg {
-		// The average lies within [min, max]: verification fails only if
-		// the cell cannot intersect that range.
-		st, serr := v.db.Stats(col)
-		if serr != nil {
-			return false, serr
+	ok, hit, err := v.colCache.do(key, func() (bool, error) {
+		if agg == sqlir.AggAvg {
+			// The average lies within [min, max]: verification fails only
+			// if the cell cannot intersect that range.
+			st, serr := v.db.Stats(col)
+			if serr != nil {
+				return false, serr
+			}
+			return avgCellPossible(st, cell), nil
 		}
-		ok = avgCellPossible(st, cell)
-	} else {
 		// Unaggregated, MIN and MAX projections produce exact column
 		// values: run SELECT 1 FROM t WHERE <cell constraint> LIMIT 1.
 		preds := cellPredicates(col, cell)
-		v.stats.DBQueries++
-		ok, err = v.joins.Exists(sqlexec.ExistsQuery{
+		v.countDBQuery()
+		return v.joins.Exists(sqlexec.ExistsQuery{
 			From:  &sqlir.JoinPath{Tables: []string{col.Table}},
 			Conj:  sqlir.LogicAnd,
 			Preds: preds,
 		})
-		if err != nil {
-			return false, err
-		}
+	})
+	if err != nil {
+		return false, err
 	}
-	v.colCache[key] = ok
+	if hit {
+		v.statsMu.Lock()
+		v.stats.ColumnCache++
+		v.statsMu.Unlock()
+	}
 	return ok, nil
 }
 
@@ -438,15 +486,12 @@ func (v *Verifier) verifyByRow(q *sqlir.Query) (Outcome, error) {
 		// Sibling states (e.g. differing only in ORDER BY decisions) issue
 		// identical row checks; memoize by query signature.
 		sig := existsSig(eq)
-		ok, hit := v.rowCache[sig]
-		if !hit {
-			var err error
-			v.stats.DBQueries++
-			ok, err = v.joins.Exists(eq)
-			if err != nil {
-				return pass(), err
-			}
-			v.rowCache[sig] = ok
+		ok, _, err := v.rowCache.do(sig, func() (bool, error) {
+			v.countDBQuery()
+			return v.joins.Exists(eq)
+		})
+		if err != nil {
+			return pass(), err
 		}
 		if !ok {
 			return fail(StageByRow, "tuple %d %s has no satisfying row", ti, tp), nil
@@ -571,7 +616,7 @@ func (v *Verifier) verifyByOrder(q *sqlir.Query) (Outcome, error) {
 	if v.sketch == nil {
 		return pass(), nil
 	}
-	v.stats.DBQueries++
+	v.countDBQuery()
 	res, err := v.joins.Execute(q)
 	if err != nil {
 		return pass(), err
