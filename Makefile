@@ -1,0 +1,27 @@
+# Developer entry points. CI runs the same targets so local runs and the
+# pipeline cannot drift.
+
+.PHONY: build test vet race bench
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race -short ./...
+
+# bench runs every executor benchmark once (the equivalence self-checks run
+# regardless of -benchtime) and records machine-readable results into
+# BENCH_sqlexec.json so the perf trajectory is tracked in-repo and the
+# benchmarks cannot bit-rot.
+bench:
+	@go test ./internal/sqlexec -run '^$$' -bench . -benchtime 1x > bench.out; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
+	go run ./cmd/benchjson -out BENCH_sqlexec.json < bench.out; \
+	status=$$?; rm -f bench.out; exit $$status

@@ -280,7 +280,9 @@ func runVerificationWorkload(b *testing.B, workload []struct {
 
 // BenchmarkVerificationSequential is the baseline of the paired engine
 // benchmark: GPQE with Workers=1, all verification inline on the search
-// goroutine — the seed engine's behaviour.
+// goroutine. Verification queries themselves run through the streaming
+// executor (DESIGN.md §6); the paired executor-level benchmarks live in
+// internal/sqlexec/bench_test.go.
 func BenchmarkVerificationSequential(b *testing.B) {
 	workload := verificationWorkload(b)
 	b.ResetTimer()

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Report is the machine-readable form of one `go test -bench` run.
+type Report struct {
+	RecordedAt string            `json:"recorded_at"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Pass       bool              `json:"pass"`
+	Extra      map[string]string `json:"-"`
+}
+
+// Benchmark is one result line: name (GOMAXPROCS suffix stripped), run
+// count, ns/op, and any extra `value unit` metric pairs (B/op, allocs/op,
+// custom b.ReportMetric units).
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse extracts benchmark results from `go test -bench` output lines.
+func Parse(lines []string) *Report {
+	rep := &Report{}
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case line == "PASS":
+			rep.Pass = true
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep
+}
+
+// parseBenchLine parses `BenchmarkName-8  123  456.7 ns/op  89 B/op ...`.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Runs: runs}
+	// The remainder is `value unit` pairs; ns/op is promoted to its own field.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			seenNs = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = val
+	}
+	return b, seenNs
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	lines := []string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: github.com/duoquest/duoquest/internal/sqlexec",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"BenchmarkExistsMaterialized        \t       9\t 122200441 ns/op",
+		"BenchmarkExistsStreaming-16        \t    2304\t    581770 ns/op\t    1024 B/op\t      12 allocs/op",
+		"PASS",
+		"ok  \tgithub.com/duoquest/duoquest/internal/sqlexec\t7.969s",
+	}
+	rep := Parse(lines)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !rep.Pass {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkExistsMaterialized" || b0.Runs != 9 || b0.NsPerOp != 122200441 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkExistsStreaming" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", b1.Name)
+	}
+	if b1.Metrics["B/op"] != 1024 || b1.Metrics["allocs/op"] != 12 {
+		t.Errorf("metrics = %+v", b1.Metrics)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep := Parse([]string{"", "random text", "Benchmark", "BenchmarkX 12"})
+	if len(rep.Benchmarks) != 0 || rep.Pass {
+		t.Errorf("report = %+v", rep)
+	}
+}

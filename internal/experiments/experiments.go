@@ -589,6 +589,12 @@ type StageReport struct {
 	DBQueries int
 	CacheHits int
 	Rejected  map[verify.Stage]int
+
+	// Streaming-executor counters: how much of the verification-query work
+	// the pushdown pipeline and join-prefix sharing eliminated.
+	StreamedExists int
+	IndexHits      int
+	JoinPrefixHits int
 }
 
 // VerificationStages runs GPQE over a sample and aggregates per-stage
@@ -614,6 +620,9 @@ func VerificationStages(bench *dataset.Benchmark, cfg Config) (*StageReport, err
 		rep.Checked += st.Checked
 		rep.DBQueries += st.DBQueries
 		rep.CacheHits += st.ColumnCache
+		rep.StreamedExists += st.StreamedExists
+		rep.IndexHits += st.IndexHits
+		rep.JoinPrefixHits += st.JoinPrefixHits
 		for k, n := range st.Rejected {
 			rep.Rejected[k] += n
 		}
@@ -626,6 +635,8 @@ func RenderStageReport(rep *StageReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Verification over %d tasks: %d checks, %d DB queries, %d column-cache hits\n",
 		rep.Tasks, rep.Checked, rep.DBQueries, rep.CacheHits)
+	fmt.Fprintf(&b, "Streaming executor: %d streamed probes, %d index hits, %d join-prefix reuses\n",
+		rep.StreamedExists, rep.IndexHits, rep.JoinPrefixHits)
 	total := 0
 	for _, n := range rep.Rejected {
 		total += n

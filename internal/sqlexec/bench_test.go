@@ -1,0 +1,229 @@
+package sqlexec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// Paired executor benchmarks: the same existence-probe workload over a
+// multi-edge join path, answered by the materialize-then-filter reference
+// path and by the streaming/index pipeline. Each streaming benchmark first
+// asserts answer-for-answer equivalence with the reference executor, so the
+// speedup can never come from changed semantics. `make bench` records these
+// into BENCH_sqlexec.json.
+
+var (
+	benchOnce sync.Once
+	benchDB   *storage.Database
+)
+
+// benchStore builds a three-table FK chain (cust ⋈ ord ⋈ prod) big enough
+// that materializing the join dominates a naive probe: 4k customers, 1k
+// products, 20k orders.
+func benchStore() *storage.Database {
+	benchOnce.Do(func() {
+		r := rand.New(rand.NewSource(7))
+		cust := storage.NewTable("cust", "cid",
+			storage.Column{Name: "cid", Type: sqlir.TypeNumber},
+			storage.Column{Name: "name", Type: sqlir.TypeText},
+			storage.Column{Name: "city", Type: sqlir.TypeText},
+		)
+		prod := storage.NewTable("prod", "pid",
+			storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+			storage.Column{Name: "pname", Type: sqlir.TypeText},
+			storage.Column{Name: "price", Type: sqlir.TypeNumber},
+		)
+		ord := storage.NewTable("ord", "oid",
+			storage.Column{Name: "oid", Type: sqlir.TypeNumber},
+			storage.Column{Name: "cid", Type: sqlir.TypeNumber},
+			storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+			storage.Column{Name: "qty", Type: sqlir.TypeNumber},
+		)
+		s := storage.NewSchema(cust, ord, prod)
+		s.AddForeignKey("ord", "cid", "cust", "cid")
+		s.AddForeignKey("ord", "pid", "prod", "pid")
+		for i := 0; i < 4000; i++ {
+			cust.MustInsert(sqlir.NewInt(i), sqlir.NewText(fmt.Sprintf("cust-%d", i)),
+				sqlir.NewText(fmt.Sprintf("city-%d", i%50)))
+		}
+		for i := 0; i < 1000; i++ {
+			prod.MustInsert(sqlir.NewInt(i), sqlir.NewText(fmt.Sprintf("prod-%d", i)),
+				sqlir.NewInt(1+r.Intn(500)))
+		}
+		for i := 0; i < 20000; i++ {
+			ord.MustInsert(sqlir.NewInt(i), sqlir.NewInt(r.Intn(4000)),
+				sqlir.NewInt(r.Intn(1000)), sqlir.NewInt(1+r.Intn(9)))
+		}
+		benchDB = storage.NewDatabase("bench", s)
+	})
+	return benchDB
+}
+
+func benchPath() *sqlir.JoinPath {
+	return &sqlir.JoinPath{
+		Tables: []string{"cust", "ord", "prod"},
+		Edges: []sqlir.JoinEdge{
+			{FromTable: "ord", FromColumn: "cid", ToTable: "cust", ToColumn: "cid"},
+			{FromTable: "ord", FromColumn: "pid", ToTable: "prod", ToColumn: "pid"},
+		},
+	}
+}
+
+func benchPred(table, col string, op sqlir.Op, v sqlir.Value) sqlir.Predicate {
+	return sqlir.Predicate{
+		Col: sqlir.ColumnRef{Table: table, Column: col}, ColSet: true,
+		Op: op, OpSet: true, Val: v, ValSet: true,
+	}
+}
+
+// benchProbes is the shared workload: selective by-row-style probes over
+// the two-edge join path, roughly half of them misses.
+func benchProbes() []sqlexec.ExistsQuery {
+	r := rand.New(rand.NewSource(11))
+	probes := make([]sqlexec.ExistsQuery, 0, 200)
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("cust-%d", r.Intn(8000)) // half miss the table
+		probes = append(probes, sqlexec.ExistsQuery{
+			From: benchPath(),
+			Conj: sqlir.LogicAnd,
+			Preds: []sqlir.Predicate{
+				benchPred("cust", "name", sqlir.OpEq, sqlir.NewText(name)),
+				benchPred("prod", "price", sqlir.OpGt, sqlir.NewInt(r.Intn(500))),
+			},
+		})
+	}
+	return probes
+}
+
+// benchGroupedProbes is the RV2-style workload: grouped existence with
+// HAVING range constraints.
+func benchGroupedProbes() []sqlexec.ExistsQuery {
+	r := rand.New(rand.NewSource(13))
+	probes := make([]sqlexec.ExistsQuery, 0, 50)
+	for i := 0; i < 50; i++ {
+		city := fmt.Sprintf("city-%d", r.Intn(60))
+		probes = append(probes, sqlexec.ExistsQuery{
+			From:  benchPath(),
+			Conj:  sqlir.LogicAnd,
+			Preds: []sqlir.Predicate{benchPred("cust", "city", sqlir.OpEq, sqlir.NewText(city))},
+			GroupBy: []sqlir.ColumnRef{
+				{Table: "cust", Column: "cid"},
+			},
+			Havings: []sqlir.HavingExpr{{
+				Agg: sqlir.AggCount, AggSet: true, Col: sqlir.Star, ColSet: true,
+				Op: sqlir.OpGe, OpSet: true, Val: sqlir.NewInt(8 + r.Intn(4)), ValSet: true,
+			}},
+		})
+	}
+	return probes
+}
+
+// referenceAnswers runs a probe set through the materializing reference
+// executor (join memoized once, scan per probe — the pre-streaming
+// JoinCache behavior).
+func referenceAnswers(b *testing.B, db *storage.Database, probes []sqlexec.ExistsQuery) (*sqlexec.ReferenceRelation, []bool) {
+	b.Helper()
+	rel, err := sqlexec.MaterializeReference(db, benchPath())
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]bool, len(probes))
+	for i, eq := range probes {
+		ok, err := rel.ExistsOnReference(eq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = ok
+	}
+	return rel, out
+}
+
+// checkStreamingEquivalence asserts the streaming pipeline agrees with the
+// reference on every probe before any timing begins.
+func checkStreamingEquivalence(b *testing.B, jc *sqlexec.JoinCache, probes []sqlexec.ExistsQuery, want []bool) {
+	b.Helper()
+	for i, eq := range probes {
+		ok, err := jc.Exists(eq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok != want[i] {
+			b.Fatalf("probe %d: streaming=%v reference=%v", i, ok, want[i])
+		}
+	}
+}
+
+// BenchmarkExistsMaterialized is the baseline: the join path is
+// materialized once (memoized, as the pre-streaming JoinCache did) and
+// every probe scans the joined tuples.
+func BenchmarkExistsMaterialized(b *testing.B) {
+	db := benchStore()
+	probes := benchProbes()
+	rel, _ := referenceAnswers(b, db, probes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eq := range probes {
+			if _, err := rel.ExistsOnReference(eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExistsStreaming is the paired measurement: the same probes
+// answered by the pushdown + first-witness streaming pipeline.
+func BenchmarkExistsStreaming(b *testing.B) {
+	db := benchStore()
+	probes := benchProbes()
+	_, want := referenceAnswers(b, db, probes)
+	jc := sqlexec.NewJoinCache(db)
+	checkStreamingEquivalence(b, jc, probes, want)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eq := range probes {
+			if _, err := jc.Exists(eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExistsGroupedMaterialized: grouped existence probes (GROUP BY +
+// HAVING) against the materialized join.
+func BenchmarkExistsGroupedMaterialized(b *testing.B) {
+	db := benchStore()
+	probes := benchGroupedProbes()
+	rel, _ := referenceAnswers(b, db, probes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eq := range probes {
+			if _, err := rel.ExistsOnReference(eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExistsGroupedStreaming: the same grouped probes streamed into
+// per-group aggregate states with predicate pushdown, no tuple buffering.
+func BenchmarkExistsGroupedStreaming(b *testing.B) {
+	db := benchStore()
+	probes := benchGroupedProbes()
+	_, want := referenceAnswers(b, db, probes)
+	jc := sqlexec.NewJoinCache(db)
+	checkStreamingEquivalence(b, jc, probes, want)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eq := range probes {
+			if _, err := jc.Exists(eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

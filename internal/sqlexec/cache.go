@@ -20,6 +20,8 @@ type JoinCache struct {
 	db *storage.Database
 	mu sync.Mutex
 	m  map[string]*joinEntry
+
+	pc pipelineCounters
 }
 
 // joinEntry is one memoized join: the sync.Once gates materialization so
@@ -41,6 +43,12 @@ func (c *JoinCache) Size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns a snapshot of the streaming-pipeline and prefix-sharing
+// counters accumulated by this cache.
+func (c *JoinCache) Stats() PipelineStats {
+	return c.pc.snapshot()
 }
 
 // joinSig canonically identifies a join path (table set + edge set).
@@ -73,25 +81,48 @@ func (c *JoinCache) materialize(jp *sqlir.JoinPath) (*relation, error) {
 		c.m[sig] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.rel, e.err = join(c.db, jp) })
+	e.once.Do(func() { e.rel, e.err = c.build(jp) })
 	return e.rel, e.err
 }
 
-// Exists is Exists with join memoization.
-func (c *JoinCache) Exists(eq ExistsQuery) (bool, error) {
-	for _, p := range eq.Preds {
-		if !p.Complete() {
-			return false, errIncomplete(p)
+// build materializes a join path, reusing the cached prefix relation when
+// one exists: sibling enumeration states that already joined A⋈B extend it
+// by one edge to probe A⋈B⋈C instead of re-joining the whole path. Edgeless
+// or malformed paths go through the reference join, which also reproduces
+// its error messages.
+func (c *JoinCache) build(jp *sqlir.JoinPath) (*relation, error) {
+	if jp == nil || len(jp.Tables) == 0 || len(jp.Edges) == 0 {
+		c.pc.add(&c.pc.joinsBuilt, 1)
+		return join(c.db, jp)
+	}
+	pes, _, oerr := orientEdges(c.db, jp)
+	if oerr != nil {
+		c.pc.add(&c.pc.joinsBuilt, 1)
+		return join(c.db, jp) // malformed; join reports the reference error
+	}
+	last := jp.Edges[len(jp.Edges)-1]
+	lastTable := pes[len(pes)-1].b
+	prefix := &sqlir.JoinPath{Edges: jp.Edges[:len(jp.Edges)-1]}
+	for _, t := range jp.Tables {
+		if t != lastTable {
+			prefix.Tables = append(prefix.Tables, t)
 		}
 	}
-	for _, p := range eq.AndPreds {
-		if !p.Complete() {
-			return false, errIncomplete(p)
-		}
-	}
-	rel, err := c.materialize(eq.From)
+	c.mu.Lock()
+	_, had := c.m[joinSig(prefix)]
+	c.mu.Unlock()
+	prel, err := c.materialize(prefix)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
-	return existsOn(c.db, rel, eq)
+	if had {
+		c.pc.add(&c.pc.prefixHits, 1)
+	}
+	return extendRelation(c.db, prel, last)
+}
+
+// Exists is Exists through the streaming pipeline, with this cache's
+// counters and its memoized joins backing the materializing fallback.
+func (c *JoinCache) Exists(eq ExistsQuery) (bool, error) {
+	return existsWith(c.db, eq, &c.pc, c.materialize)
 }

@@ -1,0 +1,484 @@
+package sqlexec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/dataset"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// Differential property tests: for seeded random SPJA queries over the
+// Movies and MAS databases, the streaming/index execution pipeline must
+// return results identical to the materializing reference executor, and
+// Exists must agree with len(Execute(...).Rows) > 0. This is the
+// bag-equivalence discipline backing the perf rewrite: the fast path is
+// only trusted because it is provably result-identical to the slow one.
+
+// queryGen draws random query fragments from a database's actual schema and
+// value distributions, so predicates hit real selectivities.
+type queryGen struct {
+	r    *rand.Rand
+	db   *storage.Database
+	pool map[sqlir.ColumnRef][]sqlir.Value
+}
+
+func newQueryGen(seed int64, db *storage.Database) *queryGen {
+	return &queryGen{
+		r:    rand.New(rand.NewSource(seed)),
+		db:   db,
+		pool: map[sqlir.ColumnRef][]sqlir.Value{},
+	}
+}
+
+// values returns (and caches) up to 40 distinct values of a column.
+func (g *queryGen) values(c sqlir.ColumnRef) []sqlir.Value {
+	if vs, ok := g.pool[c]; ok {
+		return vs
+	}
+	vs, err := g.db.Table(c.Table).DistinctValues(c.Column, 40)
+	if err != nil {
+		vs = nil
+	}
+	g.pool[c] = vs
+	return vs
+}
+
+// path builds a random connected join path of up to maxTables tables over
+// the schema's FK-PK edges.
+func (g *queryGen) path(maxTables int) *sqlir.JoinPath {
+	s := g.db.Schema
+	start := s.Tables[g.r.Intn(len(s.Tables))].Name
+	jp := &sqlir.JoinPath{Tables: []string{start}}
+	in := map[string]bool{start: true}
+	want := 1 + g.r.Intn(maxTables)
+	for len(jp.Tables) < want {
+		var cands []sqlir.JoinEdge
+		for _, fk := range s.ForeignKeys {
+			e := sqlir.JoinEdge{FromTable: fk.Table, FromColumn: fk.Column, ToTable: fk.RefTable, ToColumn: fk.RefColumn}
+			if in[e.FromTable] != in[e.ToTable] { // exactly one endpoint bound
+				cands = append(cands, e)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		e := cands[g.r.Intn(len(cands))]
+		nt := e.ToTable
+		if in[nt] {
+			nt = e.FromTable
+		}
+		in[nt] = true
+		jp.Tables = append(jp.Tables, nt)
+		jp.Edges = append(jp.Edges, e)
+	}
+	return jp
+}
+
+// column picks a random column of a random table in the path.
+func (g *queryGen) column(jp *sqlir.JoinPath) sqlir.ColumnRef {
+	t := g.db.Table(jp.Tables[g.r.Intn(len(jp.Tables))])
+	c := t.Columns[g.r.Intn(len(t.Columns))]
+	return sqlir.ColumnRef{Table: t.Name, Column: c.Name}
+}
+
+// numericColumn picks a random numeric column in the path, or ok=false.
+func (g *queryGen) numericColumn(jp *sqlir.JoinPath) (sqlir.ColumnRef, bool) {
+	for try := 0; try < 12; try++ {
+		c := g.column(jp)
+		if ty, ok := g.db.Schema.Resolve(c); ok && ty == sqlir.TypeNumber {
+			return c, true
+		}
+	}
+	return sqlir.ColumnRef{}, false
+}
+
+// pred builds a random complete predicate on the path. Values are drawn
+// from the column's own distribution most of the time, so probes succeed and
+// fail in interesting proportions.
+func (g *queryGen) pred(jp *sqlir.JoinPath) sqlir.Predicate {
+	c := g.column(jp)
+	ops := []sqlir.Op{sqlir.OpEq, sqlir.OpEq, sqlir.OpEq, sqlir.OpNe, sqlir.OpLt, sqlir.OpGt, sqlir.OpLe, sqlir.OpGe}
+	op := ops[g.r.Intn(len(ops))]
+	var val sqlir.Value
+	vs := g.values(c)
+	switch {
+	case len(vs) > 0 && g.r.Intn(5) > 0:
+		val = vs[g.r.Intn(len(vs))]
+	case g.r.Intn(2) == 0:
+		val = sqlir.NewNumber(float64(g.r.Intn(2000)))
+	default:
+		val = sqlir.NewText(fmt.Sprintf("nope-%d", g.r.Intn(50)))
+	}
+	return sqlir.Predicate{Col: c, ColSet: true, Op: op, OpSet: true, Val: val, ValSet: true}
+}
+
+// existsQuery builds a random verification-shaped existence probe:
+// optionally OR-connected candidate predicates, conjoined example-cell
+// constraints, and sometimes GROUP BY/HAVING.
+func (g *queryGen) existsQuery() sqlexec.ExistsQuery {
+	jp := g.path(3)
+	eq := sqlexec.ExistsQuery{From: jp, Conj: sqlir.LogicAnd}
+	if g.r.Intn(2) == 0 {
+		n := 1 + g.r.Intn(3)
+		if n >= 2 && g.r.Intn(2) == 0 {
+			eq.Conj = sqlir.LogicOr
+		}
+		for i := 0; i < n; i++ {
+			eq.Preds = append(eq.Preds, g.pred(jp))
+		}
+	}
+	for i := g.r.Intn(3); i > 0; i-- {
+		eq.AndPreds = append(eq.AndPreds, g.pred(jp))
+	}
+	if g.r.Intn(3) == 0 {
+		for i := 1 + g.r.Intn(2); i > 0; i-- {
+			eq.GroupBy = append(eq.GroupBy, g.column(jp))
+		}
+	}
+	if g.r.Intn(3) == 0 {
+		for i := 1 + g.r.Intn(2); i > 0; i-- {
+			if h, ok := g.having(jp); ok {
+				eq.Havings = append(eq.Havings, h)
+			}
+		}
+	}
+	return eq
+}
+
+// having builds a random complete HAVING condition.
+func (g *queryGen) having(jp *sqlir.JoinPath) (sqlir.HavingExpr, bool) {
+	ops := []sqlir.Op{sqlir.OpEq, sqlir.OpNe, sqlir.OpLt, sqlir.OpGt, sqlir.OpLe, sqlir.OpGe}
+	op := ops[g.r.Intn(len(ops))]
+	mk := func(agg sqlir.AggFunc, col sqlir.ColumnRef, val sqlir.Value) (sqlir.HavingExpr, bool) {
+		return sqlir.HavingExpr{
+			Agg: agg, AggSet: true, Col: col, ColSet: true,
+			Op: op, OpSet: true, Val: val, ValSet: true,
+		}, true
+	}
+	switch g.r.Intn(4) {
+	case 0: // COUNT(*)
+		return mk(sqlir.AggCount, sqlir.Star, sqlir.NewInt(g.r.Intn(6)))
+	case 1: // COUNT(col)
+		return mk(sqlir.AggCount, g.column(jp), sqlir.NewInt(g.r.Intn(6)))
+	case 2: // MIN/MAX over any column
+		aggs := []sqlir.AggFunc{sqlir.AggMin, sqlir.AggMax}
+		c := g.column(jp)
+		vs := g.values(c)
+		if len(vs) == 0 {
+			return sqlir.HavingExpr{}, false
+		}
+		return mk(aggs[g.r.Intn(2)], c, vs[g.r.Intn(len(vs))])
+	default: // SUM/AVG over a numeric column
+		c, ok := g.numericColumn(jp)
+		if !ok {
+			return sqlir.HavingExpr{}, false
+		}
+		aggs := []sqlir.AggFunc{sqlir.AggSum, sqlir.AggAvg}
+		return mk(aggs[g.r.Intn(2)], c, sqlir.NewNumber(float64(g.r.Intn(4000))))
+	}
+}
+
+// completeQuery builds a random complete SPJA query suitable for Execute.
+// orderIdx is the projection index of the ORDER BY key, or -1.
+func (g *queryGen) completeQuery() (*sqlir.Query, int) {
+	jp := g.path(3)
+	q := &sqlir.Query{KWSet: true, SelectCountSet: true, LimitSet: true, From: jp}
+
+	grouped := g.r.Intn(3) == 0
+	if grouped {
+		q.GroupByState = sqlir.ClausePresent
+		q.GroupBy = []sqlir.ColumnRef{g.column(jp)}
+		q.Select = []sqlir.SelectItem{{Agg: sqlir.AggNone, AggSet: true, Col: q.GroupBy[0], ColSet: true}}
+		agg := []sqlir.AggFunc{sqlir.AggCount, sqlir.AggMin, sqlir.AggMax}[g.r.Intn(3)]
+		q.Select = append(q.Select, sqlir.SelectItem{Agg: agg, AggSet: true, Col: g.column(jp), ColSet: true})
+		if c, ok := g.numericColumn(jp); ok && g.r.Intn(2) == 0 {
+			aggs := []sqlir.AggFunc{sqlir.AggSum, sqlir.AggAvg}
+			q.Select = append(q.Select, sqlir.SelectItem{Agg: aggs[g.r.Intn(2)], AggSet: true, Col: c, ColSet: true})
+		}
+		if h, ok := g.having(jp); ok && g.r.Intn(2) == 0 {
+			q.HavingState = sqlir.ClausePresent
+			q.Having = h
+		}
+	} else {
+		for i := 1 + g.r.Intn(3); i > 0; i-- {
+			q.Select = append(q.Select, sqlir.SelectItem{Agg: sqlir.AggNone, AggSet: true, Col: g.column(jp), ColSet: true})
+		}
+		q.Distinct = g.r.Intn(4) == 0
+	}
+
+	if g.r.Intn(2) == 0 {
+		n := 1 + g.r.Intn(3)
+		w := sqlir.Where{ConjSet: true, CountSet: true}
+		if n >= 2 && g.r.Intn(2) == 0 {
+			w.Conj = sqlir.LogicOr
+		}
+		for i := 0; i < n; i++ {
+			w.Preds = append(w.Preds, g.pred(jp))
+		}
+		q.WhereState = sqlir.ClausePresent
+		q.Where = w
+	}
+
+	orderIdx := -1
+	if g.r.Intn(2) == 0 {
+		orderIdx = 0
+		key := sqlir.OrderKey{Agg: sqlir.AggNone, Col: q.Select[0].Col}
+		if grouped {
+			orderIdx = 1
+			key = sqlir.OrderKey{Agg: q.Select[1].Agg, Col: q.Select[1].Col}
+		}
+		q.OrderByState = sqlir.ClausePresent
+		q.OrderBy = sqlir.OrderBy{Key: key, KeySet: true, Desc: g.r.Intn(2) == 0, DirSet: true}
+		if g.r.Intn(2) == 0 {
+			q.Limit = 1 + g.r.Intn(10)
+		}
+	}
+	return q, orderIdx
+}
+
+// rowStrings renders result rows for multiset comparison.
+func rowStrings(res *sqlexec.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		s := ""
+		for _, v := range r {
+			s += v.String() + "|"
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func diffDBs(t *testing.T) map[string]*storage.Database {
+	t.Helper()
+	return map[string]*storage.Database{
+		"movies": dataset.Movies(),
+		"mas":    dataset.MAS(),
+	}
+}
+
+// TestDifferentialExists checks streaming Exists (both the package-level
+// entry point and the JoinCache one) against the materializing reference on
+// random existence probes.
+func TestDifferentialExists(t *testing.T) {
+	for name, db := range diffDBs(t) {
+		t.Run(name, func(t *testing.T) {
+			g := newQueryGen(1, db)
+			jc := sqlexec.NewJoinCache(db)
+			for i := 0; i < 600; i++ {
+				eq := g.existsQuery()
+				want, werr := sqlexec.ExistsReference(db, eq)
+				got, gerr := sqlexec.Exists(db, eq)
+				cached, cerr := jc.Exists(eq)
+				if (werr != nil) != (gerr != nil) || (werr != nil) != (cerr != nil) {
+					t.Fatalf("query %d: error divergence: ref=%v stream=%v cached=%v", i, werr, gerr, cerr)
+				}
+				if werr != nil {
+					if werr.Error() != gerr.Error() {
+						t.Fatalf("query %d: error text diverges: ref=%v stream=%v", i, werr, gerr)
+					}
+					continue
+				}
+				if got != want || cached != want {
+					t.Fatalf("query %d: exists diverges: ref=%v stream=%v cached=%v eq=%+v", i, want, got, cached, eq)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialExistsAgreesWithExecute checks the §3.4 contract on the
+// no-GROUP-BY shape: Exists(q) == (len(Execute(select-from-where).Rows) > 0).
+func TestDifferentialExistsAgreesWithExecute(t *testing.T) {
+	for name, db := range diffDBs(t) {
+		t.Run(name, func(t *testing.T) {
+			g := newQueryGen(2, db)
+			for i := 0; i < 300; i++ {
+				jp := g.path(3)
+				var preds []sqlir.Predicate
+				conj := sqlir.LogicAnd
+				n := 1 + g.r.Intn(3)
+				if n >= 2 && g.r.Intn(2) == 0 {
+					conj = sqlir.LogicOr
+				}
+				for j := 0; j < n; j++ {
+					preds = append(preds, g.pred(jp))
+				}
+				q := &sqlir.Query{
+					KWSet: true, SelectCountSet: true, LimitSet: true, From: jp,
+					Select:     []sqlir.SelectItem{{Agg: sqlir.AggNone, AggSet: true, Col: g.column(jp), ColSet: true}},
+					WhereState: sqlir.ClausePresent,
+					Where:      sqlir.Where{Conj: conj, ConjSet: true, CountSet: true, Preds: preds},
+				}
+				res, err := sqlexec.Execute(db, q)
+				if err != nil {
+					t.Fatalf("query %d: execute: %v", i, err)
+				}
+				ok, err := sqlexec.Exists(db, sqlexec.ExistsQuery{From: jp, Conj: conj, Preds: preds})
+				if err != nil {
+					t.Fatalf("query %d: exists: %v", i, err)
+				}
+				if ok != (len(res.Rows) > 0) {
+					t.Fatalf("query %d: exists=%v but execute returned %d rows", i, ok, len(res.Rows))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialExecutePrefixSharing checks the JoinCache's
+// prefix-extending materialization against the reference executor. A fresh
+// cache must reproduce the reference result exactly — same rows, same order.
+// A cache shared across queries may serve a relation built from an earlier
+// query's edge order for the same canonical table/edge set (that was already
+// true before prefix sharing), so there the result must be bag-identical,
+// with the ORDER BY key sequence identical when ORDER BY is set.
+func TestDifferentialExecutePrefixSharing(t *testing.T) {
+	for name, db := range diffDBs(t) {
+		t.Run(name, func(t *testing.T) {
+			g := newQueryGen(3, db)
+			shared := sqlexec.NewJoinCache(db)
+			for i := 0; i < 300; i++ {
+				q, orderIdx := g.completeQuery()
+				if !q.Complete() {
+					t.Fatalf("query %d: generator produced incomplete query %+v", i, q)
+				}
+				want, werr := sqlexec.Execute(db, q)
+
+				// Fresh cache: prefix extension alone must be exact.
+				fresh, ferr := sqlexec.NewJoinCache(db).Execute(q)
+				if (werr != nil) != (ferr != nil) {
+					t.Fatalf("query %d: error divergence: ref=%v fresh=%v", i, werr, ferr)
+				}
+				if werr == nil {
+					if len(want.Rows) != len(fresh.Rows) {
+						t.Fatalf("query %d: %d rows vs %d (fresh cache)", i, len(want.Rows), len(fresh.Rows))
+					}
+					for ri := range want.Rows {
+						for ci := range want.Rows[ri] {
+							if !want.Rows[ri][ci].Equal(fresh.Rows[ri][ci]) {
+								t.Fatalf("query %d: row %d col %d: %v vs %v (fresh cache)",
+									i, ri, ci, want.Rows[ri][ci], fresh.Rows[ri][ci])
+							}
+						}
+					}
+				}
+
+				// Shared cache: bag equality (modulo LIMIT tie-breaking),
+				// plus the ordered key sequence when ORDER BY is set.
+				got, gerr := shared.Execute(q)
+				if (werr != nil) != (gerr != nil) {
+					t.Fatalf("query %d: error divergence: ref=%v shared=%v", i, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if len(want.Rows) != len(got.Rows) {
+					t.Fatalf("query %d: %d rows vs %d (shared cache)", i, len(want.Rows), len(got.Rows))
+				}
+				if orderIdx >= 0 {
+					for ri := range want.Rows {
+						if !want.Rows[ri][orderIdx].Equal(got.Rows[ri][orderIdx]) {
+							t.Fatalf("query %d: ORDER BY key diverges at row %d: %v vs %v",
+								i, ri, want.Rows[ri][orderIdx], got.Rows[ri][orderIdx])
+						}
+					}
+				}
+				if q.LimitSet && q.Limit > 0 && len(want.Rows) == q.Limit {
+					continue // ties at the cutoff may legitimately differ
+				}
+				a, b := rowStrings(want), rowStrings(got)
+				sort.Strings(a)
+				sort.Strings(b)
+				for ri := range a {
+					if a[ri] != b[ri] {
+						t.Fatalf("query %d: result bags differ: %q vs %q", i, a[ri], b[ri])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestJoinCachePrefixReuse pins the prefix-sharing behavior deterministically:
+// once starring⋈actor is cached, materializing starring⋈actor⋈movie extends
+// the cached prefix instead of re-joining it.
+func TestJoinCachePrefixReuse(t *testing.T) {
+	db := dataset.Movies()
+	jc := sqlexec.NewJoinCache(db)
+	sel := func(jp *sqlir.JoinPath) *sqlir.Query {
+		return &sqlir.Query{
+			KWSet: true, SelectCountSet: true, LimitSet: true, From: jp,
+			Select: []sqlir.SelectItem{{
+				Agg: sqlir.AggNone, AggSet: true,
+				Col: sqlir.ColumnRef{Table: "starring", Column: "sid"}, ColSet: true,
+			}},
+		}
+	}
+	two := &sqlir.JoinPath{
+		Tables: []string{"starring", "actor"},
+		Edges:  []sqlir.JoinEdge{{FromTable: "starring", FromColumn: "aid", ToTable: "actor", ToColumn: "aid"}},
+	}
+	if _, err := jc.Execute(sel(two)); err != nil {
+		t.Fatal(err)
+	}
+	if st := jc.Stats(); st.PrefixHits != 0 {
+		t.Fatalf("premature prefix hit: %+v", st)
+	}
+	three := &sqlir.JoinPath{
+		Tables: []string{"starring", "actor", "movie"},
+		Edges: []sqlir.JoinEdge{
+			{FromTable: "starring", FromColumn: "aid", ToTable: "actor", ToColumn: "aid"},
+			{FromTable: "starring", FromColumn: "mid", ToTable: "movie", ToColumn: "mid"},
+		},
+	}
+	res, err := jc.Execute(sel(three))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sqlexec.Execute(db, sel(three))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want.Rows))
+	}
+	if st := jc.Stats(); st.PrefixHits != 1 {
+		t.Fatalf("prefix hits = %d, want 1 (%+v)", st.PrefixHits, st)
+	}
+}
+
+// TestSumOverTextRejected pins the evalAggregate fix: SUM/AVG over a text
+// column is an error on both the reference and streaming paths, not a
+// silent zero.
+func TestSumOverTextRejected(t *testing.T) {
+	db := dataset.Movies()
+	q := &sqlir.Query{
+		KWSet: true, SelectCountSet: true, LimitSet: true,
+		From: &sqlir.JoinPath{Tables: []string{"actor"}},
+		Select: []sqlir.SelectItem{{
+			Agg: sqlir.AggSum, AggSet: true,
+			Col: sqlir.ColumnRef{Table: "actor", Column: "name"}, ColSet: true,
+		}},
+	}
+	if _, err := sqlexec.Execute(db, q); err == nil {
+		t.Error("SUM over text column should error")
+	}
+	h := sqlir.HavingExpr{
+		Agg: sqlir.AggAvg, AggSet: true,
+		Col: sqlir.ColumnRef{Table: "actor", Column: "name"}, ColSet: true,
+		Op: sqlir.OpGt, OpSet: true, Val: sqlir.NewNumber(0), ValSet: true,
+	}
+	eq := sqlexec.ExistsQuery{From: &sqlir.JoinPath{Tables: []string{"actor"}}, Havings: []sqlir.HavingExpr{h}}
+	if _, err := sqlexec.Exists(db, eq); err == nil {
+		t.Error("AVG over text column should error on the streaming path")
+	}
+	if _, err := sqlexec.ExistsReference(db, eq); err == nil {
+		t.Error("AVG over text column should error on the reference path")
+	}
+}

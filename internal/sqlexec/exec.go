@@ -137,12 +137,16 @@ func executeOn(db *storage.Database, rel *relation, q *sqlir.Query) (*Result, er
 	if q.Distinct {
 		seen := map[string]bool{}
 		dedup := out[:0]
+		var buf []byte // reused row-key buffer: no per-row concatenation garbage
 		for _, r := range out {
-			k := rowKey(r.vals)
-			if seen[k] {
+			buf = buf[:0]
+			for _, v := range r.vals {
+				buf = appendValueKey(buf, v)
+			}
+			if seen[string(buf)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(buf)] = true
 			dedup = append(dedup, r)
 		}
 		out = dedup
@@ -188,61 +192,72 @@ func join(db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
 		rel.tuples[i] = tuple{int32(i)}
 	}
 	for _, e := range jp.Edges {
-		var existing, incoming string
-		if _, ok := rel.slots[e.FromTable]; ok {
-			existing, incoming = e.FromTable, e.ToTable
-		} else if _, ok := rel.slots[e.ToTable]; ok {
-			existing, incoming = e.ToTable, e.FromTable
-		} else {
-			return nil, fmt.Errorf("sqlexec: join edge %s disconnected from path", e)
+		var err error
+		rel, err = extendRelation(db, rel, e)
+		if err != nil {
+			return nil, err
 		}
-		if _, dup := rel.slots[incoming]; dup {
-			return nil, fmt.Errorf("sqlexec: table %s joined twice", incoming)
-		}
-		nt := db.Table(incoming)
-		if nt == nil {
-			return nil, fmt.Errorf("sqlexec: unknown table %s", incoming)
-		}
-		exCol, inCol := e.FromColumn, e.ToColumn
-		if existing == e.ToTable {
-			exCol, inCol = e.ToColumn, e.FromColumn
-		}
-		exTbl := db.Table(existing)
-		exIdx := exTbl.ColumnIndex(exCol)
-		inIdx := nt.ColumnIndex(inCol)
-		if exIdx < 0 || inIdx < 0 {
-			return nil, fmt.Errorf("sqlexec: join edge %s references unknown column", e)
-		}
-		// Hash the incoming table on its join column.
-		index := map[sqlir.Value][]int32{}
-		for ri, row := range nt.Rows() {
-			v := row[inIdx]
-			if v.IsNull() {
-				continue
-			}
-			index[v] = append(index[v], int32(ri))
-		}
-		slot := len(rel.slots)
-		rel.slots[incoming] = slot
-		rel.tables = append(rel.tables, nt)
-		exSlot := rel.slots[existing]
-		exRows := rel.tables[exSlot]
-		var next []tuple
-		for _, tp := range rel.tuples {
-			v := exRows.Row(int(tp[exSlot]))[exIdx]
-			if v.IsNull() {
-				continue
-			}
-			for _, m := range index[v] {
-				ext := make(tuple, len(tp)+1)
-				copy(ext, tp)
-				ext[slot] = m
-				next = append(next, ext)
-			}
-		}
-		rel.tuples = next
 	}
 	return rel, nil
+}
+
+// extendRelation joins one more FK-PK edge onto a relation, probing the
+// incoming table's persistent hash index. It returns a new relation and
+// leaves the input untouched, so cached join prefixes can be shared.
+func extendRelation(db *storage.Database, rel *relation, e sqlir.JoinEdge) (*relation, error) {
+	var existing, incoming string
+	if _, ok := rel.slots[e.FromTable]; ok {
+		existing, incoming = e.FromTable, e.ToTable
+	} else if _, ok := rel.slots[e.ToTable]; ok {
+		existing, incoming = e.ToTable, e.FromTable
+	} else {
+		return nil, fmt.Errorf("sqlexec: join edge %s disconnected from path", e)
+	}
+	if _, dup := rel.slots[incoming]; dup {
+		return nil, fmt.Errorf("sqlexec: table %s joined twice", incoming)
+	}
+	nt := db.Table(incoming)
+	if nt == nil {
+		return nil, fmt.Errorf("sqlexec: unknown table %s", incoming)
+	}
+	exCol, inCol := e.FromColumn, e.ToColumn
+	if existing == e.ToTable {
+		exCol, inCol = e.ToColumn, e.FromColumn
+	}
+	exTbl := db.Table(existing)
+	exIdx := exTbl.ColumnIndex(exCol)
+	inIdx := nt.ColumnIndex(inCol)
+	if exIdx < 0 || inIdx < 0 {
+		return nil, fmt.Errorf("sqlexec: join edge %s references unknown column", e)
+	}
+	index, err := nt.Index(inCol)
+	if err != nil {
+		return nil, err
+	}
+	next := &relation{
+		slots:  make(map[string]int, len(rel.slots)+1),
+		tables: append(append([]*storage.Table{}, rel.tables...), nt),
+	}
+	for t, s := range rel.slots {
+		next.slots[t] = s
+	}
+	slot := len(rel.slots)
+	next.slots[incoming] = slot
+	exSlot := rel.slots[existing]
+	exRows := rel.tables[exSlot]
+	for _, tp := range rel.tuples {
+		v := exRows.Row(int(tp[exSlot]))[exIdx]
+		if v.IsNull() {
+			continue
+		}
+		for _, m := range index[v] {
+			ext := make(tuple, len(tp)+1)
+			copy(ext, tp)
+			ext[slot] = m
+			next.tuples = append(next.tuples, ext)
+		}
+	}
+	return next, nil
 }
 
 // colValue resolves a column reference against a joined tuple.
@@ -303,25 +318,24 @@ func groupRows(db *storage.Database, rel *relation, rows []tuple, groupBy []sqli
 	if len(groupBy) == 0 {
 		return [][]tuple{rows}, nil
 	}
-	order := []string{}
-	groups := map[string][]tuple{}
+	idx := map[string]int{}
+	var out [][]tuple
+	var buf []byte // reused key buffer; the key string is allocated once per group
 	for _, tp := range rows {
-		key := ""
+		buf = buf[:0]
 		for _, g := range groupBy {
 			v, err := colValue(db, rel, tp, g)
 			if err != nil {
 				return nil, err
 			}
-			key += v.String() + "\x00"
+			buf = appendValueKey(buf, v)
 		}
-		if _, ok := groups[key]; !ok {
-			order = append(order, key)
+		if i, ok := idx[string(buf)]; ok {
+			out[i] = append(out[i], tp)
+		} else {
+			idx[string(buf)] = len(out)
+			out = append(out, []tuple{tp})
 		}
-		groups[key] = append(groups[key], tp)
-	}
-	out := make([][]tuple, 0, len(order))
-	for _, k := range order {
-		out = append(out, groups[k])
 	}
 	return out, nil
 }
@@ -351,6 +365,9 @@ func evalAggregate(db *storage.Database, rel *relation, group []tuple, agg sqlir
 		}
 		if v.IsNull() {
 			continue
+		}
+		if (agg == sqlir.AggSum || agg == sqlir.AggAvg) && v.Kind != sqlir.KindNumber {
+			return sqlir.Null(), errNonNumericAgg(col, v)
 		}
 		if count == 0 {
 			min, max = v, v
@@ -387,13 +404,4 @@ func evalAggregate(db *storage.Database, rel *relation, group []tuple, agg sqlir
 	default:
 		return sqlir.Null(), fmt.Errorf("sqlexec: unknown aggregate %v", agg)
 	}
-}
-
-// rowKey renders a row for DISTINCT deduplication.
-func rowKey(vals []sqlir.Value) string {
-	k := ""
-	for _, v := range vals {
-		k += v.String() + "\x00"
-	}
-	return k
 }

@@ -24,8 +24,23 @@ type ExistsQuery struct {
 }
 
 // Exists reports whether the query produces at least one row (the LIMIT 1
-// early-exit the paper uses to keep verification cheap, §3.4).
+// early-exit the paper uses to keep verification cheap, §3.4). Probes run
+// through the streaming index-nested-loop pipeline; query shapes the
+// pipeline cannot compile fall back to materialize-then-filter, which is
+// also kept as the reference oracle for differential tests.
 func Exists(db *storage.Database, eq ExistsQuery) (bool, error) {
+	return existsWith(db, eq, nil, func(jp *sqlir.JoinPath) (*relation, error) {
+		return join(db, jp)
+	})
+}
+
+// existsWith runs the shared Exists driver: predicate completeness checks,
+// the streaming fast path, then the materializing fallback provided by the
+// caller (a fresh join, or a JoinCache materialization).
+func existsWith(db *storage.Database, eq ExistsQuery, pc *pipelineCounters, materialize func(*sqlir.JoinPath) (*relation, error)) (bool, error) {
+	if pc == nil {
+		pc = &discardCounters
+	}
 	for _, p := range eq.Preds {
 		if !p.Complete() {
 			return false, errIncomplete(p)
@@ -36,7 +51,12 @@ func Exists(db *storage.Database, eq ExistsQuery) (bool, error) {
 			return false, errIncomplete(p)
 		}
 	}
-	rel, err := join(db, eq.From)
+	if ok, handled, err := streamExists(db, eq, pc); handled {
+		pc.add(&pc.streamed, 1)
+		return ok, err
+	}
+	pc.add(&pc.fallback, 1)
+	rel, err := materialize(eq.From)
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,53 @@
+package sqlexec
+
+import (
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// Hooks for the external test package (differential tests and paired
+// benchmarks): direct access to the materialize-then-filter reference path,
+// bypassing the streaming pipeline.
+
+// ReferenceRelation wraps a materialized join for repeated probing — the
+// pre-streaming JoinCache behavior.
+type ReferenceRelation struct {
+	db  *storage.Database
+	rel *relation
+}
+
+// MaterializeReference materializes a join path through the reference
+// executor.
+func MaterializeReference(db *storage.Database, jp *sqlir.JoinPath) (*ReferenceRelation, error) {
+	rel, err := join(db, jp)
+	if err != nil {
+		return nil, err
+	}
+	return &ReferenceRelation{db: db, rel: rel}, nil
+}
+
+// ExistsOnReference scans a pre-materialized join for a witness, exactly as
+// the pre-streaming executor did.
+func (r *ReferenceRelation) ExistsOnReference(eq ExistsQuery) (bool, error) {
+	return existsOn(r.db, r.rel, eq)
+}
+
+// ExistsReference answers an exists query by materializing the join and
+// filtering — the reference oracle for the streaming pipeline.
+func ExistsReference(db *storage.Database, eq ExistsQuery) (bool, error) {
+	for _, p := range eq.Preds {
+		if !p.Complete() {
+			return false, errIncomplete(p)
+		}
+	}
+	for _, p := range eq.AndPreds {
+		if !p.Complete() {
+			return false, errIncomplete(p)
+		}
+	}
+	rel, err := join(db, eq.From)
+	if err != nil {
+		return false, err
+	}
+	return existsOn(db, rel, eq)
+}

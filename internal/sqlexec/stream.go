@@ -1,0 +1,623 @@
+// Streaming verification executor: instead of materializing the full join
+// and filtering afterwards (the reference path in exec.go), existence probes
+// compile their predicates into bound evaluators, seed the pipeline from the
+// most selective equality predicate's posting list in a persistent column
+// index, and walk the join tree as a pipelined index-nested-loop join that
+// short-circuits on the first witness. Grouped existence streams per-group
+// aggregate accumulators instead of buffering matching tuples. The pipeline
+// is behavior-preserving: any query shape it cannot compile falls back to
+// the materializing path, and grouped probes keep the reference tuple
+// enumeration order so floating-point aggregates stay bit-identical.
+package sqlexec
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// PipelineStats is a snapshot of the streaming executor's counters: how
+// much verification work the pushdown pipeline served (and avoided) on
+// behalf of one JoinCache.
+type PipelineStats struct {
+	StreamedExists int64 // existence probes answered by the streaming pipeline
+	FallbackExists int64 // existence probes that fell back to materialize-then-filter
+	IndexSeeds     int64 // probes seeded from a persistent column-index posting list
+	IndexProbes    int64 // join-step posting-list lookups
+	PrefixHits     int64 // joins materialized by extending an already-cached prefix
+	JoinsBuilt     int64 // joins materialized from scratch
+}
+
+// IndexHits is the total posting-list work served by persistent indexes.
+func (s PipelineStats) IndexHits() int64 { return s.IndexSeeds + s.IndexProbes }
+
+// pipelineCounters is the mutable, concurrency-safe form of PipelineStats.
+type pipelineCounters struct {
+	streamed    atomic.Int64
+	fallback    atomic.Int64
+	indexSeeds  atomic.Int64
+	indexProbes atomic.Int64
+	prefixHits  atomic.Int64
+	joinsBuilt  atomic.Int64
+}
+
+func (pc *pipelineCounters) snapshot() PipelineStats {
+	if pc == nil {
+		return PipelineStats{}
+	}
+	return PipelineStats{
+		StreamedExists: pc.streamed.Load(),
+		FallbackExists: pc.fallback.Load(),
+		IndexSeeds:     pc.indexSeeds.Load(),
+		IndexProbes:    pc.indexProbes.Load(),
+		PrefixHits:     pc.prefixHits.Load(),
+		JoinsBuilt:     pc.joinsBuilt.Load(),
+	}
+}
+
+func (pc *pipelineCounters) add(c *atomic.Int64, n int64) {
+	if n != 0 {
+		c.Add(n)
+	}
+}
+
+// discardCounters sinks pipeline counters for callers without a JoinCache
+// (the package-level Exists/Execute entry points).
+var discardCounters pipelineCounters
+
+// boundPred is a predicate compiled against a stream plan: the slot and
+// column ordinal are resolved once, so per-tuple evaluation is two slice
+// loads and an operator dispatch instead of a map lookup plus a linear
+// column-name scan.
+type boundPred struct {
+	slot int
+	col  int
+	op   sqlir.Op
+	val  sqlir.Value
+}
+
+func (bp boundPred) eval(p *streamPlan, tp []int32) bool {
+	v := p.tables[bp.slot].Row(int(tp[bp.slot]))[bp.col]
+	return bp.op.Eval(v, bp.val)
+}
+
+// streamStep extends a partial tuple by one join edge: probe the bound
+// probeSlot's probeCol value against the new table's hash index.
+type streamStep struct {
+	probeSlot int
+	probeCol  int
+	index     map[sqlir.Value][]int32
+}
+
+// streamPlan is a compiled existence probe: slot layout, join steps in
+// enumeration order, the pushdown seed, and predicates bound to the
+// earliest slot at which they can be evaluated.
+type streamPlan struct {
+	slots  map[string]int
+	tables []*storage.Table // per slot, in bind order
+
+	steps []streamStep // steps[i] binds slot i+1
+
+	rootRows []int32 // pushdown seed posting list (valid when seeded)
+	seeded   bool
+
+	predsAt [][]boundPred // AND-semantics predicates checked when their slot binds
+	orPreds []boundPred   // OR-connected predicates, checked once orDepth binds
+	orDepth int
+}
+
+// bindCol resolves a column reference to (slot, column ordinal).
+func (p *streamPlan) bindCol(c sqlir.ColumnRef) (int, int, error) {
+	slot, ok := p.slots[c.Table]
+	if !ok {
+		return 0, 0, fmt.Errorf("sqlexec: column %s not in join path", c)
+	}
+	ci := p.tables[slot].ColumnIndex(c.Column)
+	if ci < 0 {
+		return 0, 0, fmt.Errorf("sqlexec: unknown column %s", c)
+	}
+	return slot, ci, nil
+}
+
+// pathEdge is a join edge oriented by introduction order: table a was bound
+// before table b in the reference executor's edge walk.
+type pathEdge struct {
+	a, b       string
+	aCol, bCol string
+}
+
+// orientEdges validates a join path exactly like the materializing join and
+// returns its edges oriented from already-bound to newly-introduced table.
+func orientEdges(db *storage.Database, jp *sqlir.JoinPath) ([]pathEdge, map[string]bool, error) {
+	if jp == nil || len(jp.Tables) == 0 {
+		return nil, nil, fmt.Errorf("sqlexec: empty join path")
+	}
+	if db.Table(jp.Tables[0]) == nil {
+		return nil, nil, fmt.Errorf("sqlexec: unknown table %s", jp.Tables[0])
+	}
+	inSet := map[string]bool{jp.Tables[0]: true}
+	pes := make([]pathEdge, 0, len(jp.Edges))
+	for _, e := range jp.Edges {
+		var pe pathEdge
+		switch {
+		case inSet[e.FromTable] && inSet[e.ToTable]:
+			return nil, nil, fmt.Errorf("sqlexec: table %s joined twice", e.ToTable)
+		case inSet[e.FromTable]:
+			pe = pathEdge{a: e.FromTable, b: e.ToTable, aCol: e.FromColumn, bCol: e.ToColumn}
+		case inSet[e.ToTable]:
+			pe = pathEdge{a: e.ToTable, b: e.FromTable, aCol: e.ToColumn, bCol: e.FromColumn}
+		default:
+			return nil, nil, fmt.Errorf("sqlexec: join edge %s disconnected from path", e)
+		}
+		if db.Table(pe.b) == nil {
+			return nil, nil, fmt.Errorf("sqlexec: unknown table %s", pe.b)
+		}
+		inSet[pe.b] = true
+		pes = append(pes, pe)
+	}
+	return pes, inSet, nil
+}
+
+// buildStreamPlan compiles an exists query into a streaming plan. canReorder
+// allows the root to move to the most selective equality predicate's table;
+// it is only sound when tuple enumeration order is immaterial (the plain
+// no-GROUP-BY witness probe). With canReorder false the plan keeps the
+// reference executor's root and edge order, so emitted tuples appear in
+// exactly the order the materializing path would produce them.
+func buildStreamPlan(db *storage.Database, eq ExistsQuery, canReorder bool) (*streamPlan, error) {
+	jp := eq.From
+	pes, inSet, err := orientEdges(db, jp)
+	if err != nil {
+		return nil, err
+	}
+
+	andSem := eq.Conj == sqlir.LogicAnd || len(eq.Preds) <= 1
+	andPreds := make([]sqlir.Predicate, 0, len(eq.Preds)+len(eq.AndPreds))
+	var orRaw []sqlir.Predicate
+	if andSem {
+		andPreds = append(andPreds, eq.Preds...)
+	} else {
+		orRaw = eq.Preds
+	}
+	andPreds = append(andPreds, eq.AndPreds...)
+
+	// Predicate pushdown: seed the pipeline from the smallest posting list
+	// among the AND-semantics equality predicates. Posting lists preserve
+	// row order, so seeding on the reference root table is always sound;
+	// moving the root elsewhere additionally requires canReorder.
+	root := jp.Tables[0]
+	var rootRows []int32
+	seeded, best := false, -1
+	for _, p := range andPreds {
+		if p.Op != sqlir.OpEq || p.Val.IsNull() || !inSet[p.Col.Table] {
+			continue
+		}
+		if !canReorder && p.Col.Table != jp.Tables[0] {
+			continue
+		}
+		t := db.Table(p.Col.Table)
+		if t == nil || t.ColumnIndex(p.Col.Column) < 0 {
+			continue // surfaces as a bind error below
+		}
+		idx, ierr := t.Index(p.Col.Column)
+		if ierr != nil {
+			continue
+		}
+		postings := idx[p.Val]
+		if best < 0 || len(postings) < best {
+			best = len(postings)
+			root = p.Col.Table
+			rootRows = postings
+			seeded = true
+		}
+	}
+
+	plan := &streamPlan{slots: make(map[string]int, len(jp.Tables)), seeded: seeded, rootRows: rootRows}
+	addTable := func(name string) {
+		plan.slots[name] = len(plan.tables)
+		plan.tables = append(plan.tables, db.Table(name))
+	}
+	addStep := func(parent string, parentCol string, child string, childCol string) error {
+		pt, ct := db.Table(parent), db.Table(child)
+		probeCol := pt.ColumnIndex(parentCol)
+		ci := ct.ColumnIndex(childCol)
+		if probeCol < 0 || ci < 0 {
+			return fmt.Errorf("sqlexec: join edge references unknown column")
+		}
+		idx, ierr := ct.Index(childCol)
+		if ierr != nil {
+			return ierr
+		}
+		probeSlot := plan.slots[parent]
+		addTable(child)
+		plan.steps = append(plan.steps, streamStep{probeSlot: probeSlot, probeCol: probeCol, index: idx})
+		return nil
+	}
+
+	addTable(root)
+	if root == jp.Tables[0] {
+		// Reference enumeration order: edges exactly as introduced.
+		for _, pe := range pes {
+			if err := addStep(pe.a, pe.aCol, pe.b, pe.bCol); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Re-root the join tree at the seed table (BFS over the edge set).
+		type half struct{ fromCol, to, toCol string }
+		adj := map[string][]half{}
+		for _, pe := range pes {
+			adj[pe.a] = append(adj[pe.a], half{pe.aCol, pe.b, pe.bCol})
+			adj[pe.b] = append(adj[pe.b], half{pe.bCol, pe.a, pe.aCol})
+		}
+		queue := []string{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, h := range adj[cur] {
+				if _, bound := plan.slots[h.to]; bound {
+					continue
+				}
+				if err := addStep(cur, h.fromCol, h.to, h.toCol); err != nil {
+					return nil, err
+				}
+				queue = append(queue, h.to)
+			}
+		}
+	}
+
+	plan.predsAt = make([][]boundPred, len(plan.tables))
+	for _, p := range andPreds {
+		bp, berr := plan.bindPred(p)
+		if berr != nil {
+			return nil, berr
+		}
+		plan.predsAt[bp.slot] = append(plan.predsAt[bp.slot], bp)
+	}
+	for _, p := range orRaw {
+		bp, berr := plan.bindPred(p)
+		if berr != nil {
+			return nil, berr
+		}
+		plan.orPreds = append(plan.orPreds, bp)
+		if bp.slot > plan.orDepth {
+			plan.orDepth = bp.slot
+		}
+	}
+	return plan, nil
+}
+
+func (p *streamPlan) bindPred(pr sqlir.Predicate) (boundPred, error) {
+	slot, ci, err := p.bindCol(pr.Col)
+	if err != nil {
+		return boundPred{}, err
+	}
+	return boundPred{slot: slot, col: ci, op: pr.Op, val: pr.Val}, nil
+}
+
+// run enumerates joined tuples depth-first, evaluating each bound predicate
+// at the shallowest depth where its slot is bound. emit returning stop=true
+// short-circuits the whole enumeration (the first-witness early exit).
+func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool, err error)) error {
+	tp := make([]int32, len(p.tables))
+	var probes int64
+
+	check := func(depth int) bool {
+		for _, bp := range p.predsAt[depth] {
+			if !bp.eval(p, tp) {
+				return false
+			}
+		}
+		if len(p.orPreds) > 0 && depth == p.orDepth {
+			hit := false
+			for _, bp := range p.orPreds {
+				if bp.eval(p, tp) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(depth int) (bool, error)
+	rec = func(depth int) (bool, error) {
+		if depth == len(p.tables) {
+			return emit(tp)
+		}
+		step := p.steps[depth-1]
+		v := p.tables[step.probeSlot].Row(int(tp[step.probeSlot]))[step.probeCol]
+		if v.IsNull() {
+			return false, nil
+		}
+		probes++
+		for _, ri := range step.index[v] {
+			tp[depth] = ri
+			if !check(depth) {
+				continue
+			}
+			stop, err := rec(depth + 1)
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		return false, nil
+	}
+
+	visit := func(ri int32) (bool, error) {
+		tp[0] = ri
+		if !check(0) {
+			return false, nil
+		}
+		return rec(1)
+	}
+
+	defer func() { pc.add(&pc.indexProbes, probes) }()
+	if p.seeded {
+		for _, ri := range p.rootRows {
+			if stop, err := visit(ri); stop || err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, n := 0, p.tables[0].NumRows(); i < n; i++ {
+		if stop, err := visit(int32(i)); stop || err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamExists answers an exists query through the streaming pipeline.
+// handled=false means the query could not be compiled (structurally broken
+// path, predicate outside it, or an unsupported HAVING shape); the caller
+// must fall back to the materializing path, which reproduces the reference
+// behavior — including its error messages — exactly.
+func streamExists(db *storage.Database, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
+	grouped := len(eq.GroupBy) > 0 || len(eq.Havings) > 0
+	plan, perr := buildStreamPlan(db, eq, !grouped)
+	if perr != nil {
+		return false, false, nil
+	}
+	if !grouped {
+		if plan.seeded {
+			pc.add(&pc.indexSeeds, 1)
+		}
+		found := false
+		rerr := plan.run(pc, func([]int32) (bool, error) {
+			found = true
+			return true, nil
+		})
+		return found, true, rerr
+	}
+	ok, handled, err = streamGroupedExists(plan, eq, pc)
+	if handled && plan.seeded {
+		// Counted only once the probe is actually streamed, so fallbacks
+		// (e.g. unsupported HAVING shapes) don't inflate pushdown coverage.
+		pc.add(&pc.indexSeeds, 1)
+	}
+	return ok, handled, err
+}
+
+// groupCol is one aggregated column tracked per group state.
+type groupCol struct {
+	slot, col int
+	ref       sqlir.ColumnRef
+}
+
+// groupAcc accumulates one column's aggregates over a streamed group,
+// mirroring evalAggregate's accumulation exactly (including NULL handling
+// and first-value semantics for unaggregated HAVING columns). The first
+// non-numeric value is recorded rather than rejected eagerly: the reference
+// path evaluates HAVING aggregates lazily per group and short-circuits on
+// the first failing condition, so a SUM/AVG type error must only surface if
+// that aggregate is actually evaluated.
+type groupAcc struct {
+	count    int
+	sum      float64
+	min, max sqlir.Value
+	first    sqlir.Value
+	hasFirst bool
+	bad      sqlir.Value // first non-null non-numeric value, for SUM/AVG
+	hasBad   bool
+}
+
+type groupState struct {
+	rows int
+	accs []groupAcc
+}
+
+// streamGroupedExists streams matching tuples into per-group aggregate
+// states — no tuple buffering — then checks HAVING per group. The plan keeps
+// reference enumeration order, so group discovery order and floating-point
+// accumulation order match the materializing path bit for bit.
+func streamGroupedExists(plan *streamPlan, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
+	type keyCol struct{ slot, col int }
+	keys := make([]keyCol, 0, len(eq.GroupBy))
+	for _, g := range eq.GroupBy {
+		slot, ci, berr := plan.bindCol(g)
+		if berr != nil {
+			return false, false, nil
+		}
+		keys = append(keys, keyCol{slot, ci})
+	}
+
+	var cols []groupCol
+	colAt := map[sqlir.ColumnRef]int{}
+	for _, h := range eq.Havings {
+		if h.Col.IsStar() {
+			if h.Agg != sqlir.AggCount {
+				return false, false, nil // reference path reports the error
+			}
+			continue
+		}
+		if h.Agg > sqlir.AggAvg {
+			return false, false, nil
+		}
+		if _, seen := colAt[h.Col]; !seen {
+			slot, ci, berr := plan.bindCol(h.Col)
+			if berr != nil {
+				return false, false, nil
+			}
+			colAt[h.Col] = len(cols)
+			cols = append(cols, groupCol{slot: slot, col: ci, ref: h.Col})
+		}
+	}
+
+	states := map[string]*groupState{}
+	var order []*groupState
+	if len(eq.GroupBy) == 0 {
+		// SQL's implicit single group exists even over zero rows.
+		st := &groupState{accs: make([]groupAcc, len(cols))}
+		states[""] = st
+		order = append(order, st)
+	}
+
+	var keyBuf []byte
+	rerr := plan.run(pc, func(tp []int32) (bool, error) {
+		keyBuf = keyBuf[:0]
+		for _, k := range keys {
+			v := plan.tables[k.slot].Row(int(tp[k.slot]))[k.col]
+			keyBuf = appendValueKey(keyBuf, v)
+		}
+		st, seen := states[string(keyBuf)]
+		if !seen {
+			st = &groupState{accs: make([]groupAcc, len(cols))}
+			states[string(keyBuf)] = st
+			order = append(order, st)
+		}
+		st.rows++
+		for i := range cols {
+			c := &cols[i]
+			v := plan.tables[c.slot].Row(int(tp[c.slot]))[c.col]
+			a := &st.accs[i]
+			if !a.hasFirst {
+				a.first, a.hasFirst = v, true
+			}
+			if v.IsNull() {
+				continue
+			}
+			if !a.hasBad && v.Kind != sqlir.KindNumber {
+				a.bad, a.hasBad = v, true
+			}
+			if a.count == 0 {
+				a.min, a.max = v, v
+			} else {
+				if v.Less(a.min) {
+					a.min = v
+				}
+				if a.max.Less(v) {
+					a.max = v
+				}
+			}
+			if v.Kind == sqlir.KindNumber {
+				a.sum += v.Num
+			}
+			a.count++
+		}
+		return false, nil
+	})
+	if rerr != nil {
+		return false, true, rerr
+	}
+
+	for _, st := range order {
+		pass := true
+		for _, h := range eq.Havings {
+			hv, herr := streamedHavingValue(st, cols, colAt, h)
+			if herr != nil {
+				return false, true, herr
+			}
+			if !h.Op.Eval(hv, h.Val) {
+				pass = false
+				break
+			}
+		}
+		if pass && (st.rows > 0 || len(eq.GroupBy) == 0) {
+			return true, true, nil
+		}
+	}
+	return false, true, nil
+}
+
+// streamedHavingValue reads one HAVING aggregate off a streamed group state,
+// with the same empty-group and non-numeric-rejection semantics as
+// evalAggregate — in particular, SUM/AVG over non-numeric data only errors
+// when that aggregate is actually evaluated for a group.
+func streamedHavingValue(st *groupState, cols []groupCol, colAt map[sqlir.ColumnRef]int, h sqlir.HavingExpr) (sqlir.Value, error) {
+	if h.Col.IsStar() {
+		return sqlir.NewInt(st.rows), nil
+	}
+	i := colAt[h.Col]
+	a := st.accs[i]
+	switch h.Agg {
+	case sqlir.AggNone:
+		if st.rows == 0 {
+			return sqlir.Null(), nil
+		}
+		return a.first, nil
+	case sqlir.AggCount:
+		return sqlir.NewInt(a.count), nil
+	case sqlir.AggMin:
+		return a.min, nil
+	case sqlir.AggMax:
+		return a.max, nil
+	case sqlir.AggSum:
+		if a.hasBad {
+			return sqlir.Null(), errNonNumericAgg(cols[i].ref, a.bad)
+		}
+		if a.count == 0 {
+			return sqlir.Null(), nil
+		}
+		return sqlir.NewNumber(a.sum), nil
+	case sqlir.AggAvg:
+		if a.hasBad {
+			return sqlir.Null(), errNonNumericAgg(cols[i].ref, a.bad)
+		}
+		if a.count == 0 {
+			return sqlir.Null(), nil
+		}
+		return sqlir.NewNumber(a.sum / float64(a.count)), nil
+	default:
+		return sqlir.Null(), nil
+	}
+}
+
+// errNonNumericAgg is shared by the streaming and materializing aggregate
+// evaluators so both paths reject SUM/AVG over non-numeric data identically.
+func errNonNumericAgg(col sqlir.ColumnRef, v sqlir.Value) error {
+	return fmt.Errorf("sqlexec: SUM/AVG over non-numeric value %s in column %s", v, col)
+}
+
+// appendValueKey appends an injective, kind-tagged encoding of v to buf —
+// the shared key builder for grouping, DISTINCT, and streamed group states.
+// Text is length-prefixed so payloads containing the separator byte cannot
+// collide across adjacent values; numbers rely on FormatFloat 'g/-1'
+// round-tripping exactly. Key equality therefore coincides with Value.Equal
+// on concatenated encodings.
+func appendValueKey(buf []byte, v sqlir.Value) []byte {
+	switch v.Kind {
+	case sqlir.KindText:
+		buf = append(buf, 't')
+		buf = strconv.AppendInt(buf, int64(len(v.Text)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, v.Text...)
+	case sqlir.KindNumber:
+		buf = append(buf, 'n')
+		if v.Num == 0 {
+			buf = append(buf, '0') // normalize -0.0, which Value.Equal treats as 0
+		} else {
+			buf = strconv.AppendFloat(buf, v.Num, 'g', -1, 64)
+		}
+	default:
+		buf = append(buf, 'z')
+	}
+	return append(buf, 0)
+}

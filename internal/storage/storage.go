@@ -41,6 +41,17 @@ type Table struct {
 
 	rows   [][]sqlir.Value
 	colIdx map[string]int
+
+	hashMu sync.Mutex
+	hash   map[string]*hashIndex
+}
+
+// hashIndex is one lazily built per-column hash index. The sync.Once gates
+// the build so concurrent first probes of the same column share a single
+// scan; everyone else blocks until the posting lists are ready.
+type hashIndex struct {
+	once sync.Once
+	m    map[sqlir.Value][]int32
 }
 
 // NewTable creates an empty table.
@@ -96,7 +107,44 @@ func (t *Table) Insert(vals ...sqlir.Value) error {
 	row := make([]sqlir.Value, len(vals))
 	copy(row, vals)
 	t.rows = append(t.rows, row)
+	t.hashMu.Lock()
+	t.hash = nil // built indexes no longer cover the new row
+	t.hashMu.Unlock()
 	return nil
+}
+
+// Index returns the persistent hash index of the named column: non-null
+// value → row ids in row order. The index is built lazily on first request
+// and memoized until the next Insert, so join builds and equality probes
+// across many queries share one scan. Callers must treat the returned map
+// and its posting lists as read-only; like Rows, the snapshot is only
+// stable while no concurrent Insert runs.
+func (t *Table) Index(col string) (map[sqlir.Value][]int32, error) {
+	ci := t.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
+	}
+	t.hashMu.Lock()
+	if t.hash == nil {
+		t.hash = map[string]*hashIndex{}
+	}
+	h, ok := t.hash[col]
+	if !ok {
+		h = &hashIndex{}
+		t.hash[col] = h
+	}
+	t.hashMu.Unlock()
+	h.once.Do(func() {
+		h.m = make(map[sqlir.Value][]int32)
+		for ri, row := range t.rows {
+			v := row[ci]
+			if v.IsNull() {
+				continue
+			}
+			h.m[v] = append(h.m[v], int32(ri))
+		}
+	})
+	return h.m, nil
 }
 
 // MustInsert inserts and panics on error; intended for dataset construction

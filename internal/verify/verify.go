@@ -55,12 +55,18 @@ func fail(stage Stage, format string, args ...any) Outcome {
 	return Outcome{OK: false, Stage: stage, Reason: fmt.Sprintf(format, args...)}
 }
 
-// Stats counts per-stage work for the cost-ordering analysis (§3.4).
+// Stats counts per-stage work for the cost-ordering analysis (§3.4). The
+// executor-level counters report how much work the streaming pipeline's
+// predicate pushdown and prefix-sharing JoinCache eliminate.
 type Stats struct {
 	Checked     int           // total Verify calls
 	Rejected    map[Stage]int // rejections per stage
 	ColumnCache int           // column-check cache hits
 	DBQueries   int           // verification queries actually executed
+
+	StreamedExists int // existence probes served by the streaming executor
+	IndexHits      int // posting-list lookups served by persistent column indexes
+	JoinPrefixHits int // joins materialized by extending a cached join-path prefix
 }
 
 // Verifier checks partial queries against a TSQ, the NLQ literals, and the
@@ -128,7 +134,8 @@ func New(db *storage.Database, rules *semrules.RuleSet, sketch *tsq.TSQ, literal
 	}
 }
 
-// Stats returns a copy of the per-stage counters.
+// Stats returns a copy of the per-stage counters, folding in the executor
+// pipeline counters from the join cache.
 func (v *Verifier) Stats() Stats {
 	v.statsMu.Lock()
 	defer v.statsMu.Unlock()
@@ -137,6 +144,10 @@ func (v *Verifier) Stats() Stats {
 	for k, n := range v.stats.Rejected {
 		cp.Rejected[k] = n
 	}
+	ps := v.joins.Stats()
+	cp.StreamedExists = int(ps.StreamedExists)
+	cp.IndexHits = int(ps.IndexHits())
+	cp.JoinPrefixHits = int(ps.PrefixHits)
 	return cp
 }
 

@@ -441,6 +441,12 @@ func TestVerifyStats(t *testing.T) {
 	if st.DBQueries == 0 {
 		t.Error("db queries should be counted")
 	}
+	if st.StreamedExists == 0 {
+		t.Error("existence probes should run through the streaming executor")
+	}
+	if st.IndexHits == 0 {
+		t.Error("streamed probes should be served by persistent column indexes")
+	}
 	// Failing stage counters.
 	bad := sqlparse.MustParse(db.Schema, "SELECT name FROM actor ORDER BY birth_yr ASC")
 	mustVerify(t, v, bad)
