@@ -1,7 +1,7 @@
 # Developer entry points. CI runs the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test vet race bench
+.PHONY: build test vet race bench bench-sqlexec bench-server
 
 build:
 	go build ./...
@@ -15,13 +15,24 @@ vet:
 race:
 	go test -race -short ./...
 
-# bench runs every executor benchmark once (the equivalence self-checks run
+# bench runs every recorded benchmark once (equivalence self-checks run
 # regardless of -benchtime) and records machine-readable results into
-# BENCH_sqlexec.json so the perf trajectory is tracked in-repo and the
-# benchmarks cannot bit-rot.
-bench:
+# BENCH_*.json so the perf trajectory is tracked in-repo and the benchmarks
+# cannot bit-rot.
+bench: bench-sqlexec bench-server
+
+bench-sqlexec:
 	@go test ./internal/sqlexec -run '^$$' -bench . -benchtime 1x > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_sqlexec.json < bench.out; \
+	status=$$?; rm -f bench.out; exit $$status
+
+# bench-server measures concurrent mixed-database serving through the HTTP
+# layer: per-request caches (baseline) vs the shared cold and warm engine.
+bench-server:
+	@go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x > bench.out; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
+	go run ./cmd/benchjson -out BENCH_server.json < bench.out; \
 	status=$$?; rm -f bench.out; exit $$status

@@ -1,58 +1,156 @@
 // Command duoquest-server exposes the Duoquest micro-services of the
-// paper's Figure 3 over HTTP: the Enumerator+Verifier behind /synthesize,
-// the Autocomplete Server behind /complete, and schema metadata behind
-// /schema. The bundled MAS database backs all endpoints.
+// paper's Figure 3 over HTTP, backed by one process-wide service Engine:
+// every request borrows the per-database shared caches (join cache,
+// verification memos, autocomplete index) under bounded admission control.
+// The bundled movies and MAS databases are registered at startup.
 //
-//	duoquest-server -addr :8080 -db mas
+//	duoquest-server -addr :8080 -db mas -max-inflight 8 -max-queue 64
+//
+// Endpoints (all take ?db=<name>; the -db flag sets the default):
 //
 //	POST /synthesize  {"nlq": "...", "literals": ["Europe", 50],
 //	                   "sketch": {"types": ["text"], "tuples": [["Oxford"]],
 //	                              "sorted": false, "limit": 0}}
+//	                  Add ?stream=1 (or Accept: application/x-ndjson) for
+//	                  NDJSON progressive display: one candidate per line as
+//	                  it is found, then a final "done" line.
 //	GET  /complete?q=SIG&max=10
 //	GET  /schema
+//	GET  /dbs
+//	GET  /stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// run to completion within -shutdown-timeout.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	duoquest "github.com/duoquest/duoquest"
 	"github.com/duoquest/duoquest/internal/dataset"
 )
 
+// maxCompleteResults bounds the ?max= parameter of /complete.
+const maxCompleteResults = 100
+
+// previewRows caps rows attached to each candidate's preview.
+const previewRows = 20
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		budget  = flag.Duration("budget", 5*time.Second, "per-request search budget")
-		topk    = flag.Int("k", 10, "max candidates per request")
-		workers = flag.Int("workers", 0, "verification workers per request (0 = GOMAXPROCS, 1 = sequential)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		budget      = flag.Duration("budget", 5*time.Second, "per-request search budget")
+		topk        = flag.Int("k", 10, "max candidates per request")
+		workers     = flag.Int("workers", 0, "verification workers per request (0 = GOMAXPROCS, 1 = sequential)")
+		defaultDB   = flag.String("db", "mas", "default database for requests without ?db=")
+		maxInFlight = flag.Int("max-inflight", 8, "max concurrently running syntheses (0 = unbounded)")
+		maxQueue    = flag.Int("max-queue", 64, "max queued syntheses before 503 (0 = unbounded)")
+		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
 	)
 	flag.Parse()
 
-	db := dataset.MAS()
-	syn := duoquest.New(db,
+	if *maxInFlight <= 0 && *maxQueue > 0 {
+		log.Printf("warning: -max-queue has no effect with unbounded -max-inflight")
+	}
+	eng := duoquest.NewEngine(
 		duoquest.WithBudget(*budget),
 		duoquest.WithMaxCandidates(*topk),
 		duoquest.WithWorkers(*workers),
+		duoquest.WithMaxInFlight(*maxInFlight),
+		duoquest.WithMaxQueue(*maxQueue),
 	)
-	srv := &server{db: db, syn: syn}
+	for _, db := range []*duoquest.Database{dataset.Movies(), dataset.MAS()} {
+		if err := eng.Register(db); err != nil {
+			log.Fatalf("register %s: %v", db.Name, err)
+		}
+	}
+	srv, err := newServer(eng, *defaultDB)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", srv.synthesize)
-	mux.HandleFunc("/complete", srv.complete)
-	mux.HandleFunc("/schema", srv.schema)
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// Streaming responses run for up to the search budget plus the
+		// preview work, so the write timeout leaves generous headroom.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *budget + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
-	log.Printf("duoquest-server listening on %s (database %s)", *addr, db.Name)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("duoquest-server listening on %s (databases %s, default %s)",
+		*addr, strings.Join(eng.Databases(), ", "), *defaultDB)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received; draining in-flight requests (up to %s)", *shutdownTO)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("graceful shutdown: %v; closing", err)
+			httpSrv.Close()
+		}
+	}
 }
 
+// server routes HTTP requests onto an Engine.
 type server struct {
-	db  *duoquest.Database
-	syn *duoquest.Synthesizer
+	eng       *duoquest.Engine
+	defaultDB string
+}
+
+// newServer validates that the default database is registered.
+func newServer(eng *duoquest.Engine, defaultDB string) (*server, error) {
+	if _, err := eng.Session(defaultDB); err != nil {
+		return nil, fmt.Errorf("default database: %w", err)
+	}
+	return &server{eng: eng, defaultDB: defaultDB}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", s.synthesize)
+	mux.HandleFunc("/complete", s.complete)
+	mux.HandleFunc("/schema", s.schema)
+	mux.HandleFunc("/dbs", s.dbs)
+	mux.HandleFunc("/stats", s.stats)
+	return mux
+}
+
+// session resolves ?db= (default -db) to a per-request engine session,
+// answering 404 for unknown databases.
+func (s *server) session(w http.ResponseWriter, r *http.Request) *duoquest.EngineSession {
+	name := r.URL.Query().Get("db")
+	if name == "" {
+		name = s.defaultDB
+	}
+	ses, err := s.eng.Session(name)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("unknown database %q", name), http.StatusNotFound)
+		return nil
+	}
+	return ses
 }
 
 // sketchJSON is the wire form of a TSQ. Cells: string/number = exact,
@@ -83,13 +181,35 @@ type synthesizeResponse struct {
 	ElapsedMS  int64           `json:"elapsed_ms"`
 }
 
+// streamLine is one NDJSON line of a streaming /synthesize response.
+type streamLine struct {
+	Type      string         `json:"type"` // "candidate", "done", or "error"
+	Candidate *candidateJSON `json:"candidate,omitempty"`
+	States    int            `json:"states,omitempty"`
+	ElapsedMS int64          `json:"elapsed_ms,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// wantsStream reports whether the client asked for NDJSON progressive
+// results.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
 func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	ses := s.session(w, r)
+	if ses == nil {
+		return
+	}
 	var req synthesizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -115,47 +235,128 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		input.Sketch = sk
 	}
 
-	res, err := s.syn.Synthesize(r.Context(), input)
+	if wantsStream(r) {
+		s.synthesizeStream(w, r, ses, input)
+		return
+	}
+	res, err := ses.Synthesize(r.Context(), input)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), synthesizeErrStatus(err))
 		return
 	}
 	resp := synthesizeResponse{States: res.States, ElapsedMS: res.Elapsed.Milliseconds()}
 	for _, c := range res.Candidates {
-		cj := candidateJSON{Rank: c.Rank, Confidence: c.Confidence, SQL: c.Query.String()}
-		if preview, err := s.syn.Preview(c.Query, 20); err == nil {
-			for _, row := range preview.Rows {
-				cells := make([]string, len(row))
-				for i, v := range row {
-					cells[i] = v.Display()
-				}
-				cj.Preview = append(cj.Preview, cells)
-			}
-		}
-		resp.Candidates = append(resp.Candidates, cj)
+		resp.Candidates = append(resp.Candidates, s.candidateJSON(ses, c))
 	}
 	writeJSON(w, resp)
 }
 
+// synthesizeStream writes one NDJSON line per candidate, flushed as found
+// (the paper's progressive display), then a final summary line. Previews
+// are computed inline so every streamed line is immediately renderable;
+// that work runs on the search goroutine and counts against the request's
+// wall-clock budget, so under very tight budgets a streaming request can
+// emit fewer candidates than a buffered one before time runs out.
+func (s *server) synthesizeStream(w http.ResponseWriter, r *http.Request, ses *duoquest.EngineSession, input duoquest.Input) {
+	// Headers only hit the wire at the first write; http.Error on a
+	// pre-emission failure still replaces the content type.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitted := 0
+	emit := func(c duoquest.Candidate) bool {
+		cj := s.candidateJSON(ses, c)
+		if err := enc.Encode(streamLine{Type: "candidate", Candidate: &cj}); err != nil {
+			return false // client went away; stop the search
+		}
+		emitted++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	res, err := ses.SynthesizeStream(r.Context(), input, emit)
+	if err != nil {
+		if emitted == 0 {
+			// Nothing on the wire yet: a plain HTTP error is still
+			// possible (overload, invalid sketch, cancelled context).
+			http.Error(w, err.Error(), synthesizeErrStatus(err))
+			return
+		}
+		enc.Encode(streamLine{Type: "error", Error: err.Error()})
+		return
+	}
+	enc.Encode(streamLine{Type: "done", States: res.States, ElapsedMS: res.Elapsed.Milliseconds()})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// synthesizeErrStatus maps synthesis failures to HTTP statuses: overload is
+// 503 (retryable), context cancellation 499-equivalent 503, anything else a
+// specification problem (422).
+func synthesizeErrStatus(err error) int {
+	switch {
+	case errors.Is(err, duoquest.ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// candidateJSON renders one candidate with its capped preview.
+func (s *server) candidateJSON(ses *duoquest.EngineSession, c duoquest.Candidate) candidateJSON {
+	cj := candidateJSON{Rank: c.Rank, Confidence: c.Confidence, SQL: c.Query.String()}
+	if preview, err := ses.Preview(c.Query, previewRows); err == nil {
+		for _, row := range preview.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.Display()
+			}
+			cj.Preview = append(cj.Preview, cells)
+		}
+	}
+	return cj
+}
+
 func (s *server) complete(w http.ResponseWriter, r *http.Request) {
+	ses := s.session(w, r)
+	if ses == nil {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	max := 10
 	if m := r.URL.Query().Get("max"); m != "" {
-		fmt.Sscanf(m, "%d", &max)
+		n, err := strconv.Atoi(m)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("max must be a positive integer, got %q", m), http.StatusBadRequest)
+			return
+		}
+		if n > maxCompleteResults {
+			n = maxCompleteResults
+		}
+		max = n
 	}
 	type hitJSON struct {
 		Value  string `json:"value"`
 		Table  string `json:"table"`
 		Column string `json:"column"`
 	}
-	var hits []hitJSON
-	for _, h := range s.syn.Autocomplete(q, max) {
+	hits := []hitJSON{}
+	for _, h := range ses.Autocomplete(q, max) {
 		hits = append(hits, hitJSON{Value: h.Value, Table: h.Table, Column: h.Column})
 	}
 	writeJSON(w, hits)
 }
 
-func (s *server) schema(w http.ResponseWriter, _ *http.Request) {
+func (s *server) schema(w http.ResponseWriter, r *http.Request) {
+	ses := s.session(w, r)
+	if ses == nil {
+		return
+	}
+	db := ses.Database()
 	type colJSON struct {
 		Name string `json:"name"`
 		Type string `json:"type"`
@@ -171,16 +372,103 @@ func (s *server) schema(w http.ResponseWriter, _ *http.Request) {
 		Tables      []tableJSON `json:"tables"`
 		ForeignKeys []string    `json:"foreign_keys"`
 	}
-	out := schemaJSON{Database: s.db.Name}
-	for _, t := range s.db.Schema.Tables {
+	out := schemaJSON{Database: db.Name}
+	for _, t := range db.Schema.Tables {
 		tj := tableJSON{Name: t.Name, PK: t.PrimaryKey, Rows: t.NumRows()}
 		for _, c := range t.Columns {
 			tj.Columns = append(tj.Columns, colJSON{Name: c.Name, Type: c.Type.String()})
 		}
 		out.Tables = append(out.Tables, tj)
 	}
-	for _, fk := range s.db.Schema.ForeignKeys {
+	for _, fk := range db.Schema.ForeignKeys {
 		out.ForeignKeys = append(out.ForeignKeys, fk.String())
+	}
+	writeJSON(w, out)
+}
+
+// dbs lists the registered databases.
+func (s *server) dbs(w http.ResponseWriter, r *http.Request) {
+	type dbJSON struct {
+		Name    string `json:"name"`
+		Tables  int    `json:"tables"`
+		Rows    int    `json:"rows"`
+		Default bool   `json:"default"`
+	}
+	out := []dbJSON{}
+	for _, name := range s.eng.Databases() {
+		db, ok := s.eng.Lookup(name)
+		if !ok {
+			continue
+		}
+		out = append(out, dbJSON{
+			Name:    name,
+			Tables:  len(db.Schema.Tables),
+			Rows:    db.TotalRows(),
+			Default: name == s.defaultDB,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// stats reports the engine-wide serving snapshot.
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	type cacheJSON struct {
+		JoinPaths      int     `json:"join_paths"`
+		StreamedExists int64   `json:"streamed_exists"`
+		FallbackExists int64   `json:"fallback_exists"`
+		IndexSeeds     int64   `json:"index_seeds"`
+		IndexProbes    int64   `json:"index_probes"`
+		PrefixHits     int64   `json:"prefix_hits"`
+		JoinsBuilt     int64   `json:"joins_built"`
+		PrefixHitRate  float64 `json:"prefix_hit_rate"`
+		StreamedRate   float64 `json:"streamed_rate"`
+	}
+	type dbJSON struct {
+		Database         string    `json:"database"`
+		Requests         int64     `json:"requests"`
+		Errors           int64     `json:"errors"`
+		Candidates       int64     `json:"candidates"`
+		AutocompleteSize int       `json:"autocomplete_size"`
+		P50MS            float64   `json:"p50_ms"`
+		P95MS            float64   `json:"p95_ms"`
+		Cache            cacheJSON `json:"cache"`
+	}
+	type statsJSON struct {
+		InFlight  int64    `json:"in_flight"`
+		Queued    int64    `json:"queued"`
+		Admitted  int64    `json:"admitted"`
+		Rejected  int64    `json:"rejected"`
+		Databases []dbJSON `json:"databases"`
+	}
+	out := statsJSON{
+		InFlight:  st.InFlight,
+		Queued:    st.Queued,
+		Admitted:  st.Admitted,
+		Rejected:  st.Rejected,
+		Databases: []dbJSON{},
+	}
+	for _, d := range st.Databases {
+		out.Databases = append(out.Databases, dbJSON{
+			Database:         d.Database,
+			Requests:         d.Requests,
+			Errors:           d.Errors,
+			Candidates:       d.Candidates,
+			AutocompleteSize: d.AutocompleteSize,
+			P50MS:            float64(d.P50) / float64(time.Millisecond),
+			P95MS:            float64(d.P95) / float64(time.Millisecond),
+			Cache: cacheJSON{
+				JoinPaths:      d.Cache.JoinPaths,
+				StreamedExists: d.Cache.Pipeline.StreamedExists,
+				FallbackExists: d.Cache.Pipeline.FallbackExists,
+				IndexSeeds:     d.Cache.Pipeline.IndexSeeds,
+				IndexProbes:    d.Cache.Pipeline.IndexProbes,
+				PrefixHits:     d.Cache.Pipeline.PrefixHits,
+				JoinsBuilt:     d.Cache.Pipeline.JoinsBuilt,
+				PrefixHitRate:  d.Cache.PrefixHitRate,
+				StreamedRate:   d.Cache.StreamedRate,
+			},
+		})
 	}
 	writeJSON(w, out)
 }

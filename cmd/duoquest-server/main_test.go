@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,25 +15,38 @@ import (
 	"github.com/duoquest/duoquest/internal/dataset"
 )
 
-func testServer() *server {
-	db := dataset.MAS()
-	syn := duoquest.New(db,
-		duoquest.WithBudget(2*time.Second),
-		duoquest.WithMaxCandidates(3),
-	)
-	return &server{db: db, syn: syn}
+func testServer(t *testing.T, opts ...duoquest.Option) *server {
+	t.Helper()
+	if opts == nil {
+		opts = []duoquest.Option{
+			duoquest.WithBudget(2 * time.Second),
+			duoquest.WithMaxCandidates(3),
+		}
+	}
+	eng := duoquest.NewEngine(opts...)
+	for _, db := range []*duoquest.Database{dataset.Movies(), dataset.MAS()} {
+		if err := eng.Register(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := newServer(eng, "mas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
 }
 
+const masBody = `{
+	"nlq": "List the names of organizations in continent Europe",
+	"literals": ["Europe"],
+	"sketch": {"types": ["text"], "tuples": [["University of Oxford"]]}
+}`
+
 func TestSynthesizeEndpoint(t *testing.T) {
-	srv := testServer()
-	body := `{
-		"nlq": "List the names of organizations in continent Europe",
-		"literals": ["Europe"],
-		"sketch": {"types": ["text"], "tuples": [["University of Oxford"]]}
-	}`
-	req := httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(body))
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(masBody))
 	w := httptest.NewRecorder()
-	srv.synthesize(w, req)
+	srv.handler().ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
 	}
@@ -50,35 +66,138 @@ func TestSynthesizeEndpoint(t *testing.T) {
 }
 
 func TestSynthesizeEndpointErrors(t *testing.T) {
-	srv := testServer()
+	srv := testServer(t)
+	h := srv.handler()
 	cases := []struct {
 		method string
+		target string
 		body   string
 		want   int
 	}{
-		{http.MethodGet, "", http.StatusMethodNotAllowed},
-		{http.MethodPost, "not json", http.StatusBadRequest},
-		{http.MethodPost, `{}`, http.StatusBadRequest},
-		{http.MethodPost, `{"nlq": "x", "literals": [true]}`, http.StatusBadRequest},
-		{http.MethodPost, `{"nlq": "x", "sketch": {"types": ["blob"]}}`, http.StatusBadRequest},
-		{http.MethodPost, `{"nlq": "x", "sketch": {"tuples": [[["a", "b"]]]}}`, http.StatusBadRequest},
-		{http.MethodPost, `{"nlq": "x", "sketch": {"limit": -3}}`, http.StatusBadRequest},
+		{http.MethodGet, "/synthesize", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/synthesize", "not json", http.StatusBadRequest},
+		{http.MethodPost, "/synthesize", `{}`, http.StatusBadRequest},
+		{http.MethodPost, "/synthesize", `{"nlq": "x", "literals": [true]}`, http.StatusBadRequest},
+		{http.MethodPost, "/synthesize", `{"nlq": "x", "sketch": {"types": ["blob"]}}`, http.StatusBadRequest},
+		{http.MethodPost, "/synthesize", `{"nlq": "x", "sketch": {"tuples": [[["a", "b"]]]}}`, http.StatusBadRequest},
+		{http.MethodPost, "/synthesize", `{"nlq": "x", "sketch": {"limit": -3}}`, http.StatusBadRequest},
+		{http.MethodPost, "/synthesize?db=nope", `{"nlq": "x"}`, http.StatusNotFound},
+		{http.MethodPost, "/synthesize?db=nope&stream=1", `{"nlq": "x"}`, http.StatusNotFound},
 	}
 	for _, c := range cases {
-		req := httptest.NewRequest(c.method, "/synthesize", strings.NewReader(c.body))
+		req := httptest.NewRequest(c.method, c.target, strings.NewReader(c.body))
 		w := httptest.NewRecorder()
-		srv.synthesize(w, req)
+		h.ServeHTTP(w, req)
 		if w.Code != c.want {
-			t.Errorf("%s %q: status = %d, want %d", c.method, c.body, w.Code, c.want)
+			t.Errorf("%s %s %q: status = %d, want %d", c.method, c.target, c.body, w.Code, c.want)
 		}
 	}
 }
 
+// Streaming mode must emit exactly the non-streaming candidates, in the
+// same order, then one done line carrying the summary.
+func TestSynthesizeStreamingMatchesNonStreaming(t *testing.T) {
+	srv := testServer(t)
+	h := srv.handler()
+
+	plain := httptest.NewRecorder()
+	h.ServeHTTP(plain, httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(masBody)))
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain status = %d: %s", plain.Code, plain.Body.String())
+	}
+	var want synthesizeResponse
+	if err := json.Unmarshal(plain.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := httptest.NewRecorder()
+	h.ServeHTTP(stream, httptest.NewRequest(http.MethodPost, "/synthesize?stream=1", strings.NewReader(masBody)))
+	if stream.Code != http.StatusOK {
+		t.Fatalf("stream status = %d: %s", stream.Code, stream.Body.String())
+	}
+	if ct := stream.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+
+	var got []candidateJSON
+	var done *streamLine
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "candidate":
+			if done != nil {
+				t.Error("candidate after done line")
+			}
+			got = append(got, *line.Candidate)
+		case "done":
+			cp := line
+			done = &cp
+		default:
+			t.Errorf("unexpected line type %q", line.Type)
+		}
+	}
+	if done == nil {
+		t.Fatal("no done line")
+	}
+	if done.States == 0 {
+		t.Error("done line missing states")
+	}
+	if len(got) != len(want.Candidates) {
+		t.Fatalf("stream emitted %d candidates, non-streaming %d", len(got), len(want.Candidates))
+	}
+	for i := range got {
+		if got[i].SQL != want.Candidates[i].SQL || got[i].Rank != want.Candidates[i].Rank {
+			t.Errorf("candidate %d: stream %+v vs plain %+v", i, got[i], want.Candidates[i])
+		}
+	}
+}
+
+// The Accept header is an alternative opt-in to streaming.
+func TestSynthesizeStreamingViaAccept(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(masBody))
+	req.Header.Set("Accept", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	srv.handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+// Per-database routing: the same NLQ resolves against the database named in
+// ?db=.
+func TestSynthesizeDatabaseRouting(t *testing.T) {
+	srv := testServer(t)
+	body := `{"nlq": "titles of movies before 1995", "literals": [1995],
+		"sketch": {"types": ["text"], "tuples": [["Forrest Gump"]]}}`
+	req := httptest.NewRequest(http.MethodPost, "/synthesize?db=movies", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp synthesizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) == 0 || !strings.Contains(resp.Candidates[0].SQL, "movie") {
+		t.Errorf("movies candidates = %+v", resp.Candidates)
+	}
+}
+
 func TestCompleteEndpoint(t *testing.T) {
-	srv := testServer()
+	srv := testServer(t)
+	h := srv.handler()
 	req := httptest.NewRequest(http.MethodGet, "/complete?q=SIG&max=3", nil)
 	w := httptest.NewRecorder()
-	srv.complete(w, req)
+	h.ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d", w.Code)
 	}
@@ -89,13 +208,60 @@ func TestCompleteEndpoint(t *testing.T) {
 	if len(hits) != 3 || hits[0]["value"] != "SIGMOD" {
 		t.Errorf("hits = %v", hits)
 	}
+
+	// Routing: the movies database has its own index.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/complete?q=Forrest&db=movies", nil))
+	hits = nil
+	if err := json.Unmarshal(w.Body.Bytes(), &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0]["value"] != "Forrest Gump" {
+		t.Errorf("movies hits = %v", hits)
+	}
+}
+
+func TestCompleteEndpointParamValidation(t *testing.T) {
+	srv := testServer(t)
+	h := srv.handler()
+	for _, target := range []string{
+		"/complete?q=SIG&max=abc",
+		"/complete?q=SIG&max=0",
+		"/complete?q=SIG&max=-2",
+		"/complete?q=SIG&max=3.5",
+	} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", target, w.Code)
+		}
+	}
+	// Oversized max is clamped, not rejected.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/complete?q=a&max=100000", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("clamped max: status = %d", w.Code)
+	}
+	var hits []map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > maxCompleteResults {
+		t.Errorf("clamp failed: %d hits", len(hits))
+	}
+	// Unknown database.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/complete?q=SIG&db=nope", nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown db: status = %d", w.Code)
+	}
 }
 
 func TestSchemaEndpoint(t *testing.T) {
-	srv := testServer()
-	req := httptest.NewRequest(http.MethodGet, "/schema", nil)
+	srv := testServer(t)
+	h := srv.handler()
 	w := httptest.NewRecorder()
-	srv.schema(w, req)
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/schema", nil))
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d", w.Code)
 	}
@@ -109,6 +275,147 @@ func TestSchemaEndpoint(t *testing.T) {
 	}
 	if out.Database != "mas" || len(out.Tables) != 15 || len(out.ForeignKeys) != 19 {
 		t.Errorf("schema = %s, %d tables, %d fks", out.Database, len(out.Tables), len(out.ForeignKeys))
+	}
+	// Routed to movies.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/schema?db=movies", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Database != "movies" || len(out.Tables) != 3 {
+		t.Errorf("movies schema = %s, %d tables", out.Database, len(out.Tables))
+	}
+	// Unknown database.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/schema?db=nope", nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown db: status = %d", w.Code)
+	}
+}
+
+func TestDBsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	w := httptest.NewRecorder()
+	srv.handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/dbs", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var out []struct {
+		Name    string `json:"name"`
+		Tables  int    `json:"tables"`
+		Rows    int    `json:"rows"`
+		Default bool   `json:"default"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "movies" || out[1].Name != "mas" {
+		t.Fatalf("dbs = %+v", out)
+	}
+	if out[0].Default || !out[1].Default {
+		t.Errorf("default flags = %+v", out)
+	}
+	if out[1].Tables != 15 || out[1].Rows == 0 {
+		t.Errorf("mas meta = %+v", out[1])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	h := srv.handler()
+	// Serve one synthesis so the counters move.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/synthesize", strings.NewReader(masBody)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("synthesize status = %d", w.Code)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", w.Code)
+	}
+	var out struct {
+		InFlight  int64 `json:"in_flight"`
+		Admitted  int64 `json:"admitted"`
+		Databases []struct {
+			Database string  `json:"database"`
+			Requests int64   `json:"requests"`
+			P50MS    float64 `json:"p50_ms"`
+			Cache    struct {
+				StreamedExists int64   `json:"streamed_exists"`
+				StreamedRate   float64 `json:"streamed_rate"`
+			} `json:"cache"`
+		} `json:"databases"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Admitted != 1 || out.InFlight != 0 || len(out.Databases) != 2 {
+		t.Errorf("stats = %+v", out)
+	}
+	mas := out.Databases[1]
+	if mas.Database != "mas" || mas.Requests != 1 || mas.P50MS <= 0 {
+		t.Errorf("mas stats = %+v", mas)
+	}
+	if mas.Cache.StreamedExists == 0 || mas.Cache.StreamedRate == 0 {
+		t.Errorf("mas cache stats = %+v", mas.Cache)
+	}
+}
+
+// Graceful shutdown with a request in flight: Shutdown must wait for the
+// streaming response to complete, and the client must receive it whole.
+// The request is a budget-bound search over the large MAS space (type-only
+// sketch, high candidate cap), so the stream provably spans the full
+// budget: the test synchronizes on the first streamed candidate before
+// shutting down, guaranteeing the overlap rather than racing a sleep.
+func TestGracefulShutdownMidRequest(t *testing.T) {
+	srv := testServer(t,
+		duoquest.WithBudget(time.Second),
+		duoquest.WithMaxCandidates(100000),
+	)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	type result struct {
+		body string
+		err  error
+	}
+	body := `{"nlq": "names of authors", "sketch": {"types": ["text"]}}`
+	firstLine := make(chan struct{})
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/synthesize?stream=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			close(firstLine)
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		br := bufio.NewReader(resp.Body)
+		head, err := br.ReadString('\n')
+		close(firstLine) // the handler is now provably mid-stream
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		rest, err := io.ReadAll(br)
+		resc <- result{body: head + string(rest), err: err}
+	}()
+
+	<-firstLine
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(sctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if !strings.Contains(r.body, `"type":"done"`) {
+		t.Errorf("in-flight response truncated: %q", r.body)
 	}
 }
 

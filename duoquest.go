@@ -33,12 +33,12 @@ import (
 	"github.com/duoquest/duoquest/internal/enumerate"
 	"github.com/duoquest/duoquest/internal/guidance"
 	"github.com/duoquest/duoquest/internal/semrules"
+	"github.com/duoquest/duoquest/internal/service"
 	"github.com/duoquest/duoquest/internal/sqlexec"
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/sqlparse"
 	"github.com/duoquest/duoquest/internal/storage"
 	"github.com/duoquest/duoquest/internal/tsq"
-	"github.com/duoquest/duoquest/internal/verify"
 )
 
 // Re-exported core types. These aliases form the public vocabulary of the
@@ -77,6 +77,20 @@ type (
 	Hit = autocomplete.Hit
 	// RuleSet is a semantic pruning rule set (Table 4).
 	RuleSet = semrules.RuleSet
+	// Engine is the process-wide multi-database synthesis service: a
+	// registry of databases with shared cross-request caches, bounded
+	// admission control, and aggregated serving statistics. Build one
+	// with NewEngine, Register databases, and open per-request
+	// EngineSessions against it.
+	Engine = service.Engine
+	// EngineSession is a per-request handle on one of an Engine's
+	// databases, borrowing its shared caches. (Session, without the
+	// prefix, is the iterative NLQ/TSQ refinement loop of Figure 1.)
+	EngineSession = service.Session
+	// EngineStats is an Engine's serving snapshot: admission gauges plus
+	// per-database request counts, cache hit rates, and latency
+	// quantiles.
+	EngineStats = service.Stats
 )
 
 // Column types.
@@ -140,16 +154,13 @@ func Execute(db *Database, q *Query) (*ResultSet, error) {
 func DefaultRules() *RuleSet { return semrules.Default() }
 
 // Input is one dual-specification synthesis request: the NLQ with its
-// tagged literal values, plus an optional table sketch query.
-type Input struct {
-	// NLQ is the natural language query.
-	NLQ string
-	// Literals are the text and numeric literal values tagged in the NLQ
-	// via the autocomplete interface (the paper's L).
-	Literals []Value
-	// Sketch is the optional TSQ; nil synthesizes from the NLQ alone.
-	Sketch *TSQ
-}
+// tagged literal values (the paper's L), plus an optional table sketch
+// query; nil Sketch synthesizes from the NLQ alone.
+type Input = service.Input
+
+// ErrOverloaded reports that the engine's synthesis wait queue is full (see
+// WithMaxInFlight/WithMaxQueue); callers should shed the request.
+var ErrOverloaded = service.ErrOverloaded
 
 // config collects synthesizer options.
 type config struct {
@@ -160,6 +171,24 @@ type config struct {
 	maxCandidates int
 	maxStates     int
 	workers       int
+	maxInFlight   int
+	maxQueue      int
+}
+
+// options converts the config to the service layer's form.
+func (c config) options() service.Options {
+	return service.Options{
+		Model:         c.model,
+		Rules:         c.rules,
+		NoRules:       c.rules == nil,
+		Mode:          c.mode,
+		Budget:        c.budget,
+		MaxCandidates: c.maxCandidates,
+		MaxStates:     c.maxStates,
+		Workers:       c.workers,
+		MaxInFlight:   c.maxInFlight,
+		MaxQueue:      c.maxQueue,
+	}
 }
 
 // Option configures a Synthesizer.
@@ -191,75 +220,95 @@ func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
 // verifies inline on the search goroutine.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
-// Synthesizer is the Duoquest engine bound to one database. It is safe to
-// reuse across requests (each request builds its own verifier); it is not
-// safe for concurrent use.
-type Synthesizer struct {
-	db  *Database
-	cfg config
-	idx *autocomplete.Index
-}
+// WithMaxInFlight bounds concurrently running syntheses (0, the default,
+// is unbounded). Excess requests wait in an admission queue.
+func WithMaxInFlight(n int) Option { return func(c *config) { c.maxInFlight = n } }
 
-// New builds a Synthesizer for a database.
-func New(db *Database, opts ...Option) *Synthesizer {
-	cfg := config{
+// WithMaxQueue bounds the admission queue beyond WithMaxInFlight (0 =
+// unbounded); when full, Synthesize fails fast with ErrOverloaded.
+func WithMaxQueue(n int) Option { return func(c *config) { c.maxQueue = n } }
+
+// defaultConfig is the documented option defaults.
+func defaultConfig() config {
+	return config{
 		model:         guidance.NewLexicalModel(),
 		rules:         semrules.Default(),
 		mode:          enumerate.ModeGPQE,
 		budget:        2 * time.Second,
 		maxCandidates: 50,
 	}
+}
+
+// NewEngine builds a standalone multi-database Engine with the same options
+// a Synthesizer takes. Register databases on it and open per-request
+// sessions with Engine.Session; cmd/duoquest-server is built on this entry
+// point.
+func NewEngine(opts ...Option) *Engine {
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Synthesizer{db: db, cfg: cfg}
+	return service.NewEngine(cfg.options())
 }
+
+// Synthesizer is the Duoquest engine bound to one database. It is safe for
+// concurrent use: all requests run through an internal service Engine and
+// share the per-database caches — the prefix-sharing join cache, the
+// column- and row-wise verification memos, and the autocomplete index —
+// each built once and invalidated automatically when rows are inserted.
+type Synthesizer struct {
+	db  *Database
+	eng *Engine
+	ses *EngineSession
+}
+
+// New builds a Synthesizer for a database.
+func New(db *Database, opts ...Option) *Synthesizer {
+	eng := NewEngine(opts...)
+	if err := eng.Register(db); err != nil {
+		// A single registration on a fresh engine can only fail on a nil
+		// database; surface that as the programming error it is.
+		panic(err)
+	}
+	ses, err := eng.Session(db.Name)
+	if err != nil {
+		panic(err)
+	}
+	return &Synthesizer{db: db, eng: eng, ses: ses}
+}
+
+// Engine exposes the Synthesizer's underlying service engine, e.g. to read
+// Stats or register further databases.
+func (s *Synthesizer) Engine() *Engine { return s.eng }
+
+// Stats returns the serving snapshot: request counts, shared-cache hit
+// rates, and latency quantiles.
+func (s *Synthesizer) Stats() EngineStats { return s.eng.Stats() }
 
 // Synthesize runs dual-specification synthesis and returns the ranked
 // candidates.
 func (s *Synthesizer) Synthesize(ctx context.Context, in Input) (*Result, error) {
-	return s.SynthesizeStream(ctx, in, nil)
+	return s.ses.Synthesize(ctx, in)
 }
 
 // SynthesizeStream runs synthesis, invoking emit for every candidate as it
 // is found (the front-end's progressive display, §4). emit returning false
 // stops the search.
 func (s *Synthesizer) SynthesizeStream(ctx context.Context, in Input, emit func(Candidate) bool) (*Result, error) {
-	if in.Sketch != nil {
-		if err := in.Sketch.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	v := verify.New(s.db, s.cfg.rules, in.Sketch, in.Literals)
-	e := enumerate.New(s.db, s.cfg.model, v, enumerate.Options{
-		Mode:          s.cfg.mode,
-		MaxCandidates: s.cfg.maxCandidates,
-		MaxStates:     s.cfg.maxStates,
-		Budget:        s.cfg.budget,
-		Workers:       s.cfg.workers,
-	})
-	return e.Enumerate(ctx, in.NLQ, in.Literals, emit)
+	return s.ses.SynthesizeStream(ctx, in, emit)
 }
 
 // Autocomplete suggests literal values for a prefix, backed by the master
 // inverted column index over all text columns (§4). The index is built
-// lazily on first use.
+// lazily, once, on first use; concurrent callers share the build.
 func (s *Synthesizer) Autocomplete(prefix string, max int) []Hit {
-	if s.idx == nil {
-		s.idx = autocomplete.Build(s.db)
-	}
-	return s.idx.Complete(prefix, max)
+	return s.ses.Autocomplete(prefix, max)
 }
 
 // Preview executes a candidate query with a row cap, powering the
-// front-end's "Query Preview" button (§4).
+// front-end's "Query Preview" button (§4). The join is served from the
+// shared join cache; truncated results are copies, never aliases of shared
+// state.
 func (s *Synthesizer) Preview(q *Query, maxRows int) (*ResultSet, error) {
-	res, err := sqlexec.Execute(s.db, q)
-	if err != nil {
-		return nil, err
-	}
-	if maxRows > 0 && len(res.Rows) > maxRows {
-		res.Rows = res.Rows[:maxRows]
-	}
-	return res, nil
+	return s.ses.Preview(q, maxRows)
 }

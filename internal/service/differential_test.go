@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/enumerate"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/tsq"
+)
+
+// mixedWorkload is a fixed cross-database request mix: every entry names
+// the target database and a dual-specification input. MaxStates (not the
+// time budget) bounds each search so the reference answers are
+// deterministic.
+func mixedWorkload() []struct {
+	db string
+	in Input
+} {
+	text := sqlir.NewText
+	num := sqlir.NewNumber
+	return []struct {
+		db string
+		in Input
+	}{
+		{"movies", Input{
+			NLQ:      "titles of movies before 1995",
+			Literals: []sqlir.Value{num(1995)},
+			Sketch: &tsq.TSQ{Types: []sqlir.Type{sqlir.TypeText},
+				Tuples: []tsq.Tuple{{tsq.Exact(text("Forrest Gump"))}}},
+		}},
+		{"movies", Input{
+			NLQ:      "names of actors starring in movies after 2000",
+			Literals: []sqlir.Value{num(2000)},
+			Sketch:   &tsq.TSQ{Types: []sqlir.Type{sqlir.TypeText}},
+		}},
+		{"movies", Input{
+			NLQ: "how many movies are there",
+			Sketch: &tsq.TSQ{Types: []sqlir.Type{sqlir.TypeNumber},
+				Tuples: []tsq.Tuple{{tsq.Range(1, 100)}}},
+		}},
+		{"mas", Input{
+			NLQ:      "List the names of organizations in continent Europe",
+			Literals: []sqlir.Value{text("Europe")},
+			Sketch: &tsq.TSQ{Types: []sqlir.Type{sqlir.TypeText},
+				Tuples: []tsq.Tuple{{tsq.Exact(text("University of Oxford"))}}},
+		}},
+		{"mas", Input{
+			NLQ:      "names of authors",
+			Literals: nil,
+			Sketch:   &tsq.TSQ{Types: []sqlir.Type{sqlir.TypeText}},
+		}},
+	}
+}
+
+func workloadOptions() Options {
+	return Options{Budget: 30 * time.Second, MaxCandidates: 4, MaxStates: 3000}
+}
+
+// TestSharedCacheDifferential is the acceptance-criteria proof: for every
+// request in a concurrent mixed-database workload, results served from the
+// warm shared caches are identical — SQL, rank, and confidence — to the
+// results a fresh per-request verifier produces.
+func TestSharedCacheDifferential(t *testing.T) {
+	// Reference: per-request caches (a fresh verifier per call), run
+	// sequentially — the pre-service-layer behavior.
+	refOpts := workloadOptions()
+	refOpts.PerRequestCaches = true
+	ref := newTestEngine(t, refOpts)
+
+	work := mixedWorkload()
+	want := make([][]string, len(work))
+	for i, w := range work {
+		s, err := ref.Session(w.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Synthesize(context.Background(), w.in)
+		if err != nil {
+			t.Fatalf("reference %d: %v", i, err)
+		}
+		want[i] = describe(res.Candidates)
+	}
+
+	// Shared engine: the same workload, issued concurrently and repeated
+	// so later rounds hit warm caches.
+	shared := newTestEngine(t, workloadOptions())
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(work))
+	for r := 0; r < rounds; r++ {
+		for i, w := range work {
+			wg.Add(1)
+			go func(r, i int, db string, in Input) {
+				defer wg.Done()
+				s, err := shared.Session(db)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := s.Synthesize(context.Background(), in)
+				if err != nil {
+					errs <- fmt.Errorf("round %d request %d: %w", r, i, err)
+					return
+				}
+				got := describe(res.Candidates)
+				if !equalStrings(got, want[i]) {
+					errs <- fmt.Errorf("round %d request %d:\n got %v\nwant %v", r, i, got, want[i])
+				}
+			}(r, i, w.db, w.in)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// describe renders candidates as comparable strings: rank, SQL, confidence.
+func describe(cs []enumerate.Candidate) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = fmt.Sprintf("#%d %.9f %s", c.Rank, c.Confidence, c.Query.String())
+	}
+	return out
+}

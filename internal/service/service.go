@@ -1,0 +1,366 @@
+// Package service implements the process-wide Duoquest engine behind the
+// paper's Figure 3 deployment: long-lived micro-services (Enumerator +
+// Verifier, Autocomplete Server) serving many interactive users at once.
+//
+// An Engine owns a registry of databases and, per database, the shared
+// cross-request state that used to be rebuilt on every call: the
+// prefix-sharing join cache, the column-wise and row-wise verification
+// memos (verify.Cache), the lazily built autocomplete index, and the
+// storage engine's persistent hash indexes warmed underneath them. Requests
+// run through lightweight per-request Session handles that borrow this
+// shared state, under bounded admission control (a fixed number of
+// in-flight syntheses plus a bounded wait queue), and the Engine aggregates
+// per-database serving statistics — request counts, cache hit rates from
+// the executor's PipelineStats, and p50/p95 latencies.
+//
+// All shared caches invalidate on Insert via the storage generation
+// counter, so a long-lived Engine never serves pre-Insert answers.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/autocomplete"
+	"github.com/duoquest/duoquest/internal/enumerate"
+	"github.com/duoquest/duoquest/internal/guidance"
+	"github.com/duoquest/duoquest/internal/semrules"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+	"github.com/duoquest/duoquest/internal/tsq"
+	"github.com/duoquest/duoquest/internal/verify"
+)
+
+// ErrOverloaded reports that the synthesis wait queue is full; the caller
+// should shed the request (HTTP 503).
+var ErrOverloaded = errors.New("service: synthesis queue is full")
+
+// Input is one dual-specification synthesis request: the NLQ with its
+// tagged literal values (the paper's L), plus an optional table sketch
+// query. nil Sketch synthesizes from the NLQ alone.
+type Input struct {
+	NLQ      string
+	Literals []sqlir.Value
+	Sketch   *tsq.TSQ
+}
+
+// Options configures an Engine. The zero value is usable: lexical guidance,
+// Table 4 semantic pruning, GPQE mode, unlimited candidates, no state/time
+// bound, unbounded admission.
+type Options struct {
+	// Model is the guidance model; nil uses the lexical model. The model
+	// is shared by all concurrent requests and must be stateless.
+	Model guidance.Model
+	// Rules is the semantic rule set; NoRules disables pruning, nil uses
+	// the Table 4 defaults.
+	Rules *semrules.RuleSet
+	// NoRules disables semantic pruning (Rules is then ignored).
+	NoRules bool
+	// Mode selects the enumeration variant (default ModeGPQE).
+	Mode enumerate.Mode
+	// Budget bounds wall-clock search time per request (0 = none).
+	Budget time.Duration
+	// MaxCandidates stops a request after n candidates (<=0 = unlimited,
+	// as in the enumerator).
+	MaxCandidates int
+	// MaxStates caps explored search states per request (0 = none).
+	MaxStates int
+	// Workers bounds each request's verification worker pool
+	// (0 = GOMAXPROCS, 1 = verify inline).
+	Workers int
+
+	// MaxInFlight bounds concurrently running syntheses across all
+	// databases (0 = unbounded). Excess requests wait in a queue.
+	MaxInFlight int
+	// MaxQueue bounds the number of waiting requests beyond MaxInFlight
+	// (0 = unbounded). When the queue is full, Synthesize returns
+	// ErrOverloaded immediately. With MaxInFlight unbounded no queue ever
+	// forms, so MaxQueue has no effect.
+	MaxQueue int
+
+	// PerRequestCaches disables cross-request cache sharing: every request
+	// builds a private verifier cache, as the engine did before the
+	// service layer existed. This is the baseline for the throughput
+	// benchmarks and the oracle for the shared-cache differential tests.
+	PerRequestCaches bool
+
+	// LatencyWindow is the per-database ring size for latency quantiles
+	// (<=0 means 1024).
+	LatencyWindow int
+}
+
+// Engine is the process-wide synthesis service. It is safe for concurrent
+// use; create one per process and share it across all requests.
+type Engine struct {
+	opts  Options
+	model guidance.Model
+	rules *semrules.RuleSet
+
+	// sem holds one token per running synthesis when MaxInFlight > 0.
+	sem      chan struct{}
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	rejected atomic.Int64
+	admitted atomic.Int64
+
+	mu    sync.RWMutex
+	dbs   map[string]*dbState
+	order []string
+}
+
+// dbState is the shared per-database state, built once and borrowed by
+// every request against that database.
+type dbState struct {
+	db    *storage.Database
+	cache *verify.Cache
+
+	idxOnce sync.Once
+	idx     *autocomplete.Index
+
+	m          sync.Mutex
+	requests   int64
+	errors     int64
+	candidates int64
+	lat        []time.Duration // latency ring
+	latPos     int
+	latN       int // number of valid entries (<= len(lat))
+}
+
+// NewEngine builds an engine.
+func NewEngine(opts Options) *Engine {
+	if opts.LatencyWindow <= 0 {
+		opts.LatencyWindow = 1024
+	}
+	e := &Engine{opts: opts, model: opts.Model, rules: opts.Rules, dbs: map[string]*dbState{}}
+	if e.model == nil {
+		e.model = guidance.NewLexicalModel()
+	}
+	if e.rules == nil && !opts.NoRules {
+		e.rules = semrules.Default()
+	}
+	if opts.NoRules {
+		e.rules = nil
+	}
+	if opts.MaxInFlight > 0 {
+		e.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	return e
+}
+
+// Register adds a database to the engine's registry and builds its shared
+// caches. It fails on a duplicate name; databases cannot be unregistered.
+func (e *Engine) Register(db *storage.Database) error {
+	if db == nil {
+		return errors.New("service: nil database")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.dbs[db.Name]; ok {
+		return fmt.Errorf("service: database %q already registered", db.Name)
+	}
+	e.dbs[db.Name] = &dbState{
+		db:    db,
+		cache: verify.NewCache(db),
+		lat:   make([]time.Duration, e.opts.LatencyWindow),
+	}
+	e.order = append(e.order, db.Name)
+	return nil
+}
+
+// Databases returns the registered database names in registration order.
+func (e *Engine) Databases() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.order...)
+}
+
+// Lookup returns a registered database by name.
+func (e *Engine) Lookup(name string) (*storage.Database, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ds, ok := e.dbs[name]
+	if !ok {
+		return nil, false
+	}
+	return ds.db, true
+}
+
+// Session opens a per-request handle on one registered database. Sessions
+// are cheap: they borrow the database's shared caches and hold no state of
+// their own, so callers may create one per request or keep one per client.
+func (e *Engine) Session(name string) (*Session, error) {
+	e.mu.RLock()
+	ds, ok := e.dbs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown database %q", name)
+	}
+	return &Session{eng: e, ds: ds}, nil
+}
+
+// admit performs admission control: it blocks until an in-flight slot is
+// free, the queue overflows (ErrOverloaded), or ctx is done. On success the
+// returned release function must be called exactly once.
+func (e *Engine) admit(ctx context.Context) (release func(), err error) {
+	if e.sem == nil {
+		e.inFlight.Add(1)
+		e.admitted.Add(1)
+		return func() { e.inFlight.Add(-1) }, nil
+	}
+	select {
+	case e.sem <- struct{}{}: // free slot, no queueing
+	default:
+		q := e.queued.Add(1)
+		if e.opts.MaxQueue > 0 && q > int64(e.opts.MaxQueue) {
+			e.queued.Add(-1)
+			e.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case e.sem <- struct{}{}:
+			e.queued.Add(-1)
+		case <-ctx.Done():
+			e.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	e.inFlight.Add(1)
+	e.admitted.Add(1)
+	return func() {
+		e.inFlight.Add(-1)
+		<-e.sem
+	}, nil
+}
+
+// Session is a per-request view of one database: it borrows the Engine's
+// shared per-database caches and runs requests under the Engine's admission
+// control.
+type Session struct {
+	eng *Engine
+	ds  *dbState
+}
+
+// Database returns the session's database.
+func (s *Session) Database() *storage.Database { return s.ds.db }
+
+// Synthesize runs dual-specification synthesis and returns the ranked
+// candidates.
+func (s *Session) Synthesize(ctx context.Context, in Input) (*enumerate.Result, error) {
+	return s.SynthesizeStream(ctx, in, nil)
+}
+
+// SynthesizeStream runs synthesis, invoking emit for every candidate as it
+// is found (the front-end's progressive display, §4). emit returning false
+// stops the search. The verifier borrows the database's shared caches — the
+// cross-request analogue of the paper's within-search prefix sharing —
+// unless the engine was built with PerRequestCaches.
+func (s *Session) SynthesizeStream(ctx context.Context, in Input, emit func(enumerate.Candidate) bool) (*enumerate.Result, error) {
+	if in.Sketch != nil {
+		if err := in.Sketch.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	release, err := s.eng.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	start := time.Now()
+	var v *verify.Verifier
+	if s.eng.opts.PerRequestCaches {
+		v = verify.New(s.ds.db, s.eng.rules, in.Sketch, in.Literals)
+	} else {
+		v = verify.NewWithCache(s.ds.db, s.eng.rules, in.Sketch, in.Literals, s.ds.cache)
+	}
+	en := enumerate.New(s.ds.db, s.eng.model, v, enumerate.Options{
+		Mode:          s.eng.opts.Mode,
+		MaxCandidates: s.eng.opts.MaxCandidates,
+		MaxStates:     s.eng.opts.MaxStates,
+		Budget:        s.eng.opts.Budget,
+		Workers:       s.eng.opts.Workers,
+	})
+	res, err := en.Enumerate(ctx, in.NLQ, in.Literals, emit)
+	s.ds.record(time.Since(start), res, err)
+	return res, err
+}
+
+// Autocomplete suggests literal values for a prefix, backed by the shared
+// master inverted column index over all text columns (§4). The index is
+// built once, on first use, for all requests; like the paper's offline
+// autocomplete server it is not rebuilt on Insert.
+func (s *Session) Autocomplete(prefix string, max int) []autocomplete.Hit {
+	return s.ds.autocompleteIndex().Complete(prefix, max)
+}
+
+// AutocompleteSize returns the size of the shared index, 0 if not yet built.
+func (s *Session) AutocompleteSize() int {
+	s.ds.m.Lock()
+	idx := s.ds.idx
+	s.ds.m.Unlock()
+	if idx == nil {
+		return 0
+	}
+	return idx.Size()
+}
+
+// Preview executes a candidate query with a row cap, powering the
+// front-end's "Query Preview" button (§4). The join runs through the shared
+// join cache, and truncation copies the row slice so callers can never
+// mutate cached or shared results.
+func (s *Session) Preview(q *sqlir.Query, maxRows int) (*sqlexec.Result, error) {
+	var res *sqlexec.Result
+	var err error
+	if s.eng.opts.PerRequestCaches {
+		res, err = sqlexec.Execute(s.ds.db, q)
+	} else {
+		res, err = s.ds.cache.Joins().Execute(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if maxRows > 0 && len(res.Rows) > maxRows {
+		rows := make([][]sqlir.Value, maxRows)
+		copy(rows, res.Rows)
+		res.Rows = rows
+	}
+	return res, nil
+}
+
+func (ds *dbState) autocompleteIndex() *autocomplete.Index {
+	ds.idxOnce.Do(func() {
+		idx := autocomplete.Build(ds.db)
+		ds.m.Lock()
+		ds.idx = idx
+		ds.m.Unlock()
+	})
+	ds.m.Lock()
+	idx := ds.idx
+	ds.m.Unlock()
+	return idx
+}
+
+// record folds one finished request into the per-database accounting.
+func (ds *dbState) record(d time.Duration, res *enumerate.Result, err error) {
+	ds.m.Lock()
+	defer ds.m.Unlock()
+	ds.requests++
+	if err != nil {
+		ds.errors++
+	}
+	if res != nil {
+		ds.candidates += int64(len(res.Candidates))
+	}
+	if len(ds.lat) > 0 {
+		ds.lat[ds.latPos] = d
+		ds.latPos = (ds.latPos + 1) % len(ds.lat)
+		if ds.latN < len(ds.lat) {
+			ds.latN++
+		}
+	}
+}

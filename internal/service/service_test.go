@@ -1,0 +1,288 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/dataset"
+	"github.com/duoquest/duoquest/internal/enumerate"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/tsq"
+)
+
+func newTestEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e := NewEngine(opts)
+	if err := e.Register(dataset.Movies()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(dataset.MAS()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func moviesInput() Input {
+	return Input{
+		NLQ:      "titles of movies before 1995",
+		Literals: []sqlir.Value{sqlir.NewNumber(1995)},
+		Sketch: &tsq.TSQ{
+			Types:  []sqlir.Type{sqlir.TypeText},
+			Tuples: []tsq.Tuple{{tsq.Exact(sqlir.NewText("Forrest Gump"))}},
+		},
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	if got := e.Databases(); len(got) != 2 || got[0] != "movies" || got[1] != "mas" {
+		t.Errorf("Databases = %v", got)
+	}
+	if err := e.Register(dataset.Movies()); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	if _, ok := e.Lookup("mas"); !ok {
+		t.Error("Lookup(mas) failed")
+	}
+	if _, err := e.Session("nope"); err == nil {
+		t.Error("unknown database session should fail")
+	}
+}
+
+func TestSessionSynthesize(t *testing.T) {
+	e := newTestEngine(t, Options{Budget: 2 * time.Second, MaxCandidates: 5})
+	s, err := e.Session("movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Synthesize(context.Background(), moviesInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	st := e.Stats()
+	if len(st.Databases) != 2 {
+		t.Fatalf("stats databases = %d", len(st.Databases))
+	}
+	mov := st.Databases[0]
+	if mov.Database != "movies" || mov.Requests != 1 || mov.Errors != 0 {
+		t.Errorf("movies stats = %+v", mov)
+	}
+	if mov.Candidates != int64(len(res.Candidates)) {
+		t.Errorf("candidates = %d, want %d", mov.Candidates, len(res.Candidates))
+	}
+	if mov.P50 <= 0 || mov.P95 < mov.P50 {
+		t.Errorf("latency quantiles = %v / %v", mov.P50, mov.P95)
+	}
+	if st.Admitted != 1 || st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("admission stats = %+v", st)
+	}
+}
+
+func TestSketchValidation(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	s, _ := e.Session("movies")
+	in := moviesInput()
+	in.Sketch = &tsq.TSQ{Limit: -1}
+	if _, err := s.Synthesize(context.Background(), in); err == nil {
+		t.Error("invalid sketch should fail")
+	}
+}
+
+// Admission control, white-box: fill every slot and the queue by hand.
+func TestAdmissionControl(t *testing.T) {
+	e := newTestEngine(t, Options{MaxInFlight: 2, MaxQueue: 2})
+
+	r1, err := e.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats(); got.InFlight != 2 {
+		t.Errorf("InFlight = %d, want 2", got.InFlight)
+	}
+
+	// Third request queues; it must report queue depth while waiting and
+	// admit once a slot frees.
+	admitted := make(chan struct{})
+	go func() {
+		r3, err := e.admit(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		r3()
+	}()
+	waitFor(t, func() bool { return e.Stats().Queued == 1 })
+
+	// A second waiter fills the queue; it honours context cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.admit(ctx)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return e.Stats().Queued == 2 })
+
+	// With the queue full, the next request is shed immediately.
+	if _, err := e.admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("overflow err = %v, want ErrOverloaded", err)
+	}
+	if got := e.Stats(); got.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", got.Rejected)
+	}
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter err = %v", err)
+	}
+
+	r1() // free a slot; the first waiter admits
+	<-admitted
+	r2()
+	waitFor(t, func() bool {
+		st := e.Stats()
+		return st.InFlight == 0 && st.Queued == 0
+	})
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// Concurrent requests against the shared caches must not corrupt them: the
+// warm-cache answers stay identical to cold ones, and the cache counters
+// show actual cross-request reuse.
+func TestSharedCacheConcurrentReuse(t *testing.T) {
+	e := newTestEngine(t, Options{Budget: 5 * time.Second, MaxCandidates: 5, MaxStates: 4000})
+	s, _ := e.Session("movies")
+
+	cold, err := s.Synthesize(context.Background(), moviesInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][]string, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Synthesize(context.Background(), moviesInput())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = sqlStrings(res)
+		}(i)
+	}
+	wg.Wait()
+	want := sqlStrings(cold)
+	for i, got := range results {
+		if !equalStrings(got, want) {
+			t.Errorf("warm run %d = %v, want %v", i, got, want)
+		}
+	}
+	st := e.Stats().Databases[0]
+	if st.Cache.Pipeline.PrefixHits+st.Cache.Pipeline.StreamedExists == 0 {
+		t.Error("expected shared-cache activity in stats")
+	}
+}
+
+// Insert invalidation end to end: a result cached by the service layer must
+// not survive a data change.
+func TestServiceInvalidationOnInsert(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	s, _ := e.Session("movies")
+	q, err := sqlparse.Parse(s.Database().Schema, "SELECT title FROM movie WHERE year = 1994")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Preview(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Rows)
+	s.Database().Table("movie").MustInsert(
+		sqlir.NewNumber(99), sqlir.NewText("The Shawshank Redemption"), sqlir.NewNumber(1994))
+	res, err = s.Preview(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != before+1 {
+		t.Errorf("rows after insert = %d, want %d", len(res.Rows), before+1)
+	}
+}
+
+// Preview truncation must hand back a private slice: growing it cannot
+// touch rows the cache still owns.
+func TestPreviewCopiesTruncatedRows(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	s, _ := e.Session("movies")
+	q, err := sqlparse.Parse(s.Database().Schema, "SELECT title FROM movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Preview(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) < 2 {
+		t.Skip("need at least 2 rows")
+	}
+	trunc, err := s.Preview(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trunc.Rows) != 1 {
+		t.Fatalf("truncated rows = %d", len(trunc.Rows))
+	}
+	// Appending through the truncated slice must not overwrite the second
+	// row of a subsequent full result.
+	trunc.Rows = append(trunc.Rows, []sqlir.Value{sqlir.NewText("CLOBBER")})
+	again, err := s.Preview(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rows[1][0].Text == "CLOBBER" {
+		t.Error("truncated preview aliases shared rows")
+	}
+}
+
+func sqlStrings(res *enumerate.Result) []string {
+	out := make([]string, len(res.Candidates))
+	for i, c := range res.Candidates {
+		out[i] = c.Query.String()
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

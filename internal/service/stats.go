@@ -1,0 +1,120 @@
+package service
+
+import (
+	"sort"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+)
+
+// CacheStats summarises one database's shared-cache effectiveness, derived
+// from the executor's cumulative PipelineStats.
+type CacheStats struct {
+	// JoinPaths is the number of join paths currently materialized.
+	JoinPaths int
+	// Pipeline is the cumulative executor counter snapshot.
+	Pipeline sqlexec.PipelineStats
+	// PrefixHitRate is PrefixHits / (PrefixHits + JoinsBuilt): the share
+	// of join materializations served by extending a cached prefix.
+	PrefixHitRate float64
+	// StreamedRate is StreamedExists / (StreamedExists + FallbackExists):
+	// the share of existence probes served by the streaming pipeline.
+	StreamedRate float64
+}
+
+// DBStats is the aggregated serving view of one registered database.
+type DBStats struct {
+	Database         string
+	Requests         int64
+	Errors           int64
+	Candidates       int64
+	AutocompleteSize int // 0 until the shared index is first used
+	Cache            CacheStats
+	P50, P95         time.Duration // over the latency window; 0 if no requests
+}
+
+// Stats is the engine-wide serving snapshot.
+type Stats struct {
+	// InFlight is the number of syntheses currently running.
+	InFlight int64
+	// Queued is the number of requests waiting for an in-flight slot.
+	Queued int64
+	// Admitted counts requests that acquired a slot since startup.
+	Admitted int64
+	// Rejected counts requests shed with ErrOverloaded.
+	Rejected int64
+	// Databases holds per-database aggregates in registration order.
+	Databases []DBStats
+}
+
+// Stats returns an engine-wide snapshot.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		InFlight: e.inFlight.Load(),
+		Queued:   e.queued.Load(),
+		Admitted: e.admitted.Load(),
+		Rejected: e.rejected.Load(),
+	}
+	e.mu.RLock()
+	states := make([]*dbState, 0, len(e.order))
+	for _, name := range e.order {
+		states = append(states, e.dbs[name])
+	}
+	e.mu.RUnlock()
+	for _, ds := range states {
+		st.Databases = append(st.Databases, ds.snapshot())
+	}
+	return st
+}
+
+func (ds *dbState) snapshot() DBStats {
+	ds.m.Lock()
+	out := DBStats{
+		Database:   ds.db.Name,
+		Requests:   ds.requests,
+		Errors:     ds.errors,
+		Candidates: ds.candidates,
+	}
+	if ds.idx != nil {
+		out.AutocompleteSize = ds.idx.Size()
+	}
+	lat := make([]time.Duration, ds.latN)
+	copy(lat, ds.lat[:ds.latN])
+	ds.m.Unlock()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	out.P50 = percentile(lat, 0.50)
+	out.P95 = percentile(lat, 0.95)
+
+	joins := ds.cache.Joins()
+	ps := joins.Stats()
+	out.Cache = CacheStats{
+		JoinPaths:     joins.Size(),
+		Pipeline:      ps,
+		PrefixHitRate: ratio(ps.PrefixHits, ps.PrefixHits+ps.JoinsBuilt),
+		StreamedRate:  ratio(ps.StreamedExists, ps.StreamedExists+ps.FallbackExists),
+	}
+	return out
+}
+
+// percentile returns the nearest-rank q-quantile of an ascending slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

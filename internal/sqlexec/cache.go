@@ -12,14 +12,24 @@ import (
 // JoinCache memoizes materialized join paths so the verifier's many
 // verification queries over the same FROM clause share one join computation
 // (§3.4's cost concern: executing verification queries dominates). A cache
-// is bound to one database snapshot and is safe for concurrent use: the
-// enumerator's verification worker pool issues overlapping Exists/Execute
-// calls, and concurrent requests for the same join path share a single
-// materialization instead of duplicating it.
+// is safe for concurrent use: the enumerator's verification worker pool
+// issues overlapping Exists/Execute calls, and concurrent requests for the
+// same join path share a single materialization instead of duplicating it.
+//
+// A cache may outlive one request — the service layer shares one JoinCache
+// per database across all requests. Each public entry point compares the
+// database generation against the one the memos were built at and drops
+// them when rows have been inserted since, so queries issued after an
+// Insert completes never see pre-Insert joins. (As with the underlying
+// storage, mutating the database while queries are in flight is not
+// supported.)
 type JoinCache struct {
 	db *storage.Database
 	mu sync.Mutex
 	m  map[string]*joinEntry
+	// gen is the database generation the current memo map was built
+	// against.
+	gen int64
 
 	pc pipelineCounters
 }
@@ -35,7 +45,20 @@ type joinEntry struct {
 
 // NewJoinCache builds a cache for a database.
 func NewJoinCache(db *storage.Database) *JoinCache {
-	return &JoinCache{db: db, m: map[string]*joinEntry{}}
+	return &JoinCache{db: db, m: map[string]*joinEntry{}, gen: db.Generation()}
+}
+
+// validate drops every memoized join built against an older database
+// generation; the next materialization rebuilds from current rows. Called on
+// each public entry point, so a shared cache self-invalidates after Insert.
+func (c *JoinCache) validate() {
+	g := c.db.Generation()
+	c.mu.Lock()
+	if c.gen != g {
+		c.m = map[string]*joinEntry{}
+		c.gen = g
+	}
+	c.mu.Unlock()
 }
 
 // Size returns the number of cached join paths.
@@ -124,5 +147,6 @@ func (c *JoinCache) build(jp *sqlir.JoinPath) (*relation, error) {
 // Exists is Exists through the streaming pipeline, with this cache's
 // counters and its memoized joins backing the materializing fallback.
 func (c *JoinCache) Exists(eq ExistsQuery) (bool, error) {
+	c.validate()
 	return existsWith(c.db, eq, &c.pc, c.materialize)
 }

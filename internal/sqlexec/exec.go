@@ -48,6 +48,7 @@ func (c *JoinCache) Execute(q *sqlir.Query) (*Result, error) {
 	if q == nil || !q.Complete() {
 		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
 	}
+	c.validate()
 	rel, err := c.materialize(q.From)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,70 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+)
+
+// A long-lived JoinCache (one per database in the service layer) must not
+// serve pre-Insert answers: every public entry point revalidates against the
+// database generation.
+func TestJoinCacheInvalidatesOnInsert(t *testing.T) {
+	db := movieDB()
+	c := NewJoinCache(db)
+
+	eq := ExistsQuery{
+		From:  pathOf("movie"),
+		Preds: []sqlir.Predicate{pred("movie", "title", sqlir.OpEq, text("Interstellar"))},
+	}
+	if ok, err := c.Exists(eq); err != nil || ok {
+		t.Fatalf("Exists before insert = %v, %v; want false", ok, err)
+	}
+
+	q := sqlparse.MustParse(db.Schema, "SELECT title FROM movie")
+	res, err := c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Rows)
+
+	db.Table("movie").MustInsert(num(9), text("Interstellar"), num(2014), num(677))
+
+	if ok, err := c.Exists(eq); err != nil || !ok {
+		t.Errorf("Exists after insert = %v, %v; want true", ok, err)
+	}
+	res, err = c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != before+1 {
+		t.Errorf("Execute after insert returned %d rows, want %d", len(res.Rows), before+1)
+	}
+}
+
+// A joined Execute exercises the materialized-path memo; the memo must be
+// dropped, not extended, after an Insert.
+func TestJoinCacheJoinInvalidatesOnInsert(t *testing.T) {
+	db := movieDB()
+	c := NewJoinCache(db)
+	q := sqlparse.MustParse(db.Schema,
+		"SELECT actor.name FROM actor JOIN starring ON starring.aid = actor.aid")
+	res, err := c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Rows)
+	if c.Size() == 0 {
+		t.Fatal("expected a cached join path")
+	}
+
+	db.Table("starring").MustInsert(num(9), num(2), num(3)) // Bullock in Fight Club
+	res, err = c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != before+1 {
+		t.Errorf("joined rows after insert = %d, want %d", len(res.Rows), before+1)
+	}
+}

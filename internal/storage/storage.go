@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/duoquest/duoquest/internal/sqlir"
 )
@@ -41,6 +42,11 @@ type Table struct {
 
 	rows   [][]sqlir.Value
 	colIdx map[string]int
+
+	// gen counts data changes; cross-request caches (join cache,
+	// verification memos, column statistics) compare generations to detect
+	// staleness after an Insert.
+	gen atomic.Int64
 
 	hashMu sync.Mutex
 	hash   map[string]*hashIndex
@@ -110,8 +116,14 @@ func (t *Table) Insert(vals ...sqlir.Value) error {
 	t.hashMu.Lock()
 	t.hash = nil // built indexes no longer cover the new row
 	t.hashMu.Unlock()
+	t.gen.Add(1)
 	return nil
 }
+
+// Generation returns a counter incremented by every Insert. Caches derived
+// from the table's data record the generation they were built at and rebuild
+// when it moves.
+func (t *Table) Generation() int64 { return t.gen.Load() }
 
 // Index returns the persistent hash index of the named column: non-null
 // value → row ids in row order. The index is built lazily on first request
@@ -332,8 +344,9 @@ type Database struct {
 	Name   string
 	Schema *Schema
 
-	statsMu sync.Mutex
-	stats   map[sqlir.ColumnRef]ColumnStats
+	statsMu  sync.Mutex
+	stats    map[sqlir.ColumnRef]ColumnStats
+	statsGen int64
 }
 
 // NewDatabase wraps a schema as a database.
@@ -344,10 +357,26 @@ func NewDatabase(name string, schema *Schema) *Database {
 // Table returns the named table, or nil.
 func (d *Database) Table(name string) *Table { return d.Schema.Table(name) }
 
-// Stats returns memoized column statistics.
+// Generation returns a counter that changes whenever any table's data
+// changes. Long-lived caches over the database compare generations to decide
+// whether their memoized state still describes the current data.
+func (d *Database) Generation() int64 {
+	var g int64
+	for _, t := range d.Schema.Tables {
+		g += t.gen.Load()
+	}
+	return g
+}
+
+// Stats returns memoized column statistics. The memo is dropped whenever the
+// database generation moves, so statistics never describe pre-Insert data.
 func (d *Database) Stats(c sqlir.ColumnRef) (ColumnStats, error) {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
+	if g := d.Generation(); g != d.statsGen {
+		d.stats = map[sqlir.ColumnRef]ColumnStats{}
+		d.statsGen = g
+	}
 	if st, ok := d.stats[c]; ok {
 		return st, nil
 	}

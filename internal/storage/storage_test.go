@@ -262,11 +262,16 @@ func TestDatabaseStatsMemoized(t *testing.T) {
 	if !st.Min.Equal(num(1990)) {
 		t.Errorf("stats min = %v", st.Min)
 	}
-	// Insert after memoization: stale until invalidated.
+	// Insert moves the database generation, so the memo self-invalidates:
+	// the next Stats call recomputes from current rows.
+	gen := db.Generation()
 	m.MustInsert(num(2), text("B"), num(1800), num(5))
+	if db.Generation() == gen {
+		t.Error("Insert should bump the database generation")
+	}
 	st, _ = db.Stats(ref)
-	if !st.Min.Equal(num(1990)) {
-		t.Error("expected memoized stats")
+	if !st.Min.Equal(num(1800)) {
+		t.Error("expected refreshed stats after insert")
 	}
 	db.InvalidateStats()
 	st, _ = db.Stats(ref)
@@ -275,6 +280,26 @@ func TestDatabaseStatsMemoized(t *testing.T) {
 	}
 	if _, err := db.Stats(sqlir.ColumnRef{Table: "nope", Column: "x"}); err == nil {
 		t.Error("missing table should error")
+	}
+}
+
+func TestTableGeneration(t *testing.T) {
+	s := movieSchema()
+	m := s.Table("movie")
+	if m.Generation() != 0 {
+		t.Errorf("fresh table generation = %d", m.Generation())
+	}
+	m.MustInsert(num(1), text("A"), num(1990), num(5))
+	m.MustInsert(num(2), text("B"), num(1991), num(6))
+	if m.Generation() != 2 {
+		t.Errorf("generation after 2 inserts = %d", m.Generation())
+	}
+	// Failed inserts do not count as data changes.
+	if err := m.Insert(num(3)); err == nil {
+		t.Fatal("bad arity should error")
+	}
+	if m.Generation() != 2 {
+		t.Errorf("generation after failed insert = %d", m.Generation())
 	}
 }
 

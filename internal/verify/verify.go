@@ -73,17 +73,26 @@ type Stats struct {
 // semantic rule set. A Verifier is safe for concurrent use: the enumerator's
 // verification worker pool calls Verify from many goroutines, sharing the
 // column-wise, row-wise, and join memos (concurrent first checks of the same
-// key share one database query). Create one per synthesis task — the memos
-// are only valid against one database snapshot and one sketch.
+// key share one database query). Create one per synthesis task — the rules,
+// sketch, and literals are request state — but the memos themselves depend
+// only on the database contents, so verifiers for the same database may
+// share them through a Cache (NewWithCache): a later request re-asking a
+// question an earlier request already answered pays no database work.
 type Verifier struct {
 	db       *storage.Database
 	rules    *semrules.RuleSet
 	sketch   *tsq.TSQ // nil disables TSQ checks (NLI mode)
 	literals []sqlir.Value
 
-	colCache boolMemo // column-wise verification memo
-	rowCache boolMemo // row-wise verification memo
+	colCache *boolMemo // column-wise verification memo (shared via Cache)
+	rowCache *boolMemo // row-wise verification memo (shared via Cache)
 	joins    *sqlexec.JoinCache
+	// base is the join cache's counter snapshot at verifier creation;
+	// Stats reports the delta so a shared cache's counters from earlier
+	// requests are not attributed to this one. Under concurrent requests
+	// the delta also includes their overlapping work — the per-database
+	// cumulative view lives in the service layer's stats.
+	base sqlexec.PipelineStats
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -121,15 +130,78 @@ func (bm *boolMemo) do(key string, f func() (bool, error)) (val, hit bool, err e
 	return e.val, ok, e.err
 }
 
-// New builds a verifier. sketch may be nil (no TSQ given); rules may be nil
-// to disable semantic pruning; literals may be empty.
+// Cache is the per-database shared verification state: the prefix-sharing
+// join cache plus the column-wise and row-wise verification memos. Every
+// memoized answer is a function of the database contents alone (the sketch
+// and literals only choose which questions get asked), so one Cache is
+// safely shared by all verifiers — and therefore all requests — bound to
+// the same database. Insert bumps the database generation; the next
+// verifier created from the Cache starts from fresh memos, and the join
+// cache self-invalidates on its own entry points.
+type Cache struct {
+	db    *storage.Database
+	joins *sqlexec.JoinCache
+
+	mu  sync.Mutex
+	gen int64
+	col *boolMemo
+	row *boolMemo
+}
+
+// NewCache builds the shared verification state for a database.
+func NewCache(db *storage.Database) *Cache {
+	return &Cache{
+		db:    db,
+		joins: sqlexec.NewJoinCache(db),
+		gen:   db.Generation(),
+		col:   &boolMemo{},
+		row:   &boolMemo{},
+	}
+}
+
+// Joins exposes the shared join cache (the service layer routes cached
+// previews and its stats snapshots through it).
+func (c *Cache) Joins() *sqlexec.JoinCache { return c.joins }
+
+// handles returns the current memos, replacing them with fresh ones if the
+// database has changed since they were built.
+func (c *Cache) handles() (col, row *boolMemo) {
+	g := c.db.Generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g != c.gen {
+		c.col, c.row = &boolMemo{}, &boolMemo{}
+		c.gen = g
+	}
+	return c.col, c.row
+}
+
+// New builds a verifier with private caches. sketch may be nil (no TSQ
+// given); rules may be nil to disable semantic pruning; literals may be
+// empty.
 func New(db *storage.Database, rules *semrules.RuleSet, sketch *tsq.TSQ, literals []sqlir.Value) *Verifier {
+	return NewWithCache(db, rules, sketch, literals, NewCache(db))
+}
+
+// NewWithCache builds a verifier borrowing a shared per-database Cache, so
+// column-wise checks, row-wise checks, and join materializations are reused
+// across every verifier created from the same Cache. The cache must have
+// been built for db: memo keys do not encode database identity, so a
+// mismatched pair would serve another database's answers.
+func NewWithCache(db *storage.Database, rules *semrules.RuleSet, sketch *tsq.TSQ, literals []sqlir.Value, cache *Cache) *Verifier {
+	if cache.db != db {
+		panic("verify: cache was built for a different database")
+	}
+	col, row := cache.handles()
 	return &Verifier{
 		db:       db,
 		rules:    rules,
 		sketch:   sketch,
 		literals: literals,
-		joins:    sqlexec.NewJoinCache(db),
+		colCache: col,
+		rowCache: row,
+		joins:    cache.joins,
+		base:     cache.joins.Stats(),
 		stats:    Stats{Rejected: map[Stage]int{}},
 	}
 }
@@ -145,9 +217,9 @@ func (v *Verifier) Stats() Stats {
 		cp.Rejected[k] = n
 	}
 	ps := v.joins.Stats()
-	cp.StreamedExists = int(ps.StreamedExists)
-	cp.IndexHits = int(ps.IndexHits())
-	cp.JoinPrefixHits = int(ps.PrefixHits)
+	cp.StreamedExists = int(ps.StreamedExists - v.base.StreamedExists)
+	cp.IndexHits = int(ps.IndexHits() - v.base.IndexHits())
+	cp.JoinPrefixHits = int(ps.PrefixHits - v.base.PrefixHits)
 	return cp
 }
 
