@@ -1,7 +1,7 @@
 # Developer entry points. CI runs the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test vet race bench bench-sqlexec bench-server
+.PHONY: build test vet race bench bench-sqlexec bench-server bench-storage
 
 build:
 	go build ./...
@@ -18,20 +18,33 @@ race:
 # bench runs every recorded benchmark once (equivalence self-checks run
 # regardless of -benchtime) and records machine-readable results into
 # BENCH_*.json so the perf trajectory is tracked in-repo and the benchmarks
-# cannot bit-rot.
-bench: bench-sqlexec bench-server
+# cannot bit-rot. All targets pass -benchmem so allocation wins are
+# recorded alongside ns/op (benchjson promotes B/op and allocs/op).
+bench: bench-sqlexec bench-storage bench-server
 
 bench-sqlexec:
-	@go test ./internal/sqlexec -run '^$$' -bench . -benchtime 1x > bench.out; \
+	@go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkExists' -benchtime 1x -benchmem > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_sqlexec.json < bench.out; \
 	status=$$?; rm -f bench.out; exit $$status
 
+# bench-storage measures the columnar storage refactor: the identical probe
+# workloads through the preserved pre-refactor row-based streaming pipeline
+# and the vectorized columnar pipeline (flat, grouped, and the MAS
+# end-to-end verification workload), with in-benchmark three-way
+# equivalence self-checks against the materializing reference.
+bench-storage:
+	@go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkColumnar' -benchtime 20x -benchmem > bench.out; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
+	go run ./cmd/benchjson -out BENCH_storage.json < bench.out; \
+	status=$$?; rm -f bench.out; exit $$status
+
 # bench-server measures concurrent mixed-database serving through the HTTP
 # layer: per-request caches (baseline) vs the shared cold and warm engine.
 bench-server:
-	@go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x > bench.out; \
+	@go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_server.json < bench.out; \

@@ -18,13 +18,20 @@ type Report struct {
 }
 
 // Benchmark is one result line: name (GOMAXPROCS suffix stripped), run
-// count, ns/op, and any extra `value unit` metric pairs (B/op, allocs/op,
-// custom b.ReportMetric units).
+// count, ns/op, the -benchmem allocation columns promoted to first-class
+// fields, and any remaining `value unit` metric pairs (custom
+// b.ReportMetric units).
 type Benchmark struct {
-	Name    string             `json:"name"`
-	Runs    int64              `json:"runs"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name    string  `json:"name"`
+	Runs    int64   `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; recorded so
+	// allocation wins are tracked alongside time, not lost in scrollback.
+	// Pointers so a measured 0 (the best possible result) is recorded and
+	// distinguishable from a run without -benchmem (fields absent).
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Parse extracts benchmark results from `go test -bench` output lines.
@@ -76,15 +83,22 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			return Benchmark{}, false
 		}
 		unit := fields[i+1]
-		if unit == "ns/op" {
+		switch unit {
+		case "ns/op":
 			b.NsPerOp = val
 			seenNs = true
-			continue
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
 		}
-		if b.Metrics == nil {
-			b.Metrics = map[string]float64{}
-		}
-		b.Metrics[unit] = val
 	}
 	return b, seenNs
 }

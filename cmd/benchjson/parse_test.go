@@ -28,8 +28,49 @@ func TestParseBenchOutput(t *testing.T) {
 	if b1.Name != "BenchmarkExistsStreaming" {
 		t.Errorf("GOMAXPROCS suffix not stripped: %q", b1.Name)
 	}
-	if b1.Metrics["B/op"] != 1024 || b1.Metrics["allocs/op"] != 12 {
-		t.Errorf("metrics = %+v", b1.Metrics)
+	// The -benchmem columns are promoted to first-class fields.
+	if b1.BytesPerOp == nil || *b1.BytesPerOp != 1024 || b1.AllocsPerOp == nil || *b1.AllocsPerOp != 12 {
+		t.Errorf("benchmem fields = %v B/op, %v allocs/op", b1.BytesPerOp, b1.AllocsPerOp)
+	}
+	if len(b1.Metrics) != 0 {
+		t.Errorf("promoted units must not stay in metrics: %+v", b1.Metrics)
+	}
+	// A run without -benchmem leaves the allocation fields absent — which a
+	// measured 0 allocs/op must remain distinguishable from.
+	if b0.BytesPerOp != nil || b0.AllocsPerOp != nil {
+		t.Errorf("b0 benchmem fields = %+v", b0)
+	}
+}
+
+// A measured zero (the best possible allocation result) is recorded, not
+// dropped as an empty field.
+func TestParseRecordsMeasuredZero(t *testing.T) {
+	rep := Parse([]string{"BenchmarkZeroAlloc-8\t100\t50 ns/op\t0 B/op\t0 allocs/op", "PASS"})
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.BytesPerOp == nil || *b.BytesPerOp != 0 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("measured zero not recorded: %+v", b)
+	}
+}
+
+// Custom ReportMetric units still land in the metrics map next to the
+// promoted columns.
+func TestParseCustomMetrics(t *testing.T) {
+	rep := Parse([]string{
+		"BenchmarkServerThroughput-8\t5\t200 ns/op\t44 B/op\t3 allocs/op\t17.5 req/s",
+		"PASS",
+	})
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.NsPerOp != 200 || b.BytesPerOp == nil || *b.BytesPerOp != 44 || b.AllocsPerOp == nil || *b.AllocsPerOp != 3 {
+		t.Errorf("promoted fields = %+v", b)
+	}
+	if b.Metrics["req/s"] != 17.5 {
+		t.Errorf("metrics = %+v", b.Metrics)
 	}
 }
 

@@ -424,15 +424,35 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		PrefixHitRate  float64 `json:"prefix_hit_rate"`
 		StreamedRate   float64 `json:"streamed_rate"`
 	}
+	type dictJSON struct {
+		Table   string `json:"table"`
+		Column  string `json:"column"`
+		Entries int    `json:"entries"`
+		Bytes   int64  `json:"bytes"`
+	}
+	type tableJSON struct {
+		Table       string `json:"table"`
+		Rows        int    `json:"rows"`
+		VectorBytes int64  `json:"vector_bytes"`
+		DictBytes   int64  `json:"dict_bytes"`
+	}
+	type storageJSON struct {
+		Rows        int         `json:"rows"`
+		VectorBytes int64       `json:"vector_bytes"`
+		DictBytes   int64       `json:"dict_bytes"`
+		Tables      []tableJSON `json:"tables"`
+		Dicts       []dictJSON  `json:"dicts"`
+	}
 	type dbJSON struct {
-		Database         string    `json:"database"`
-		Requests         int64     `json:"requests"`
-		Errors           int64     `json:"errors"`
-		Candidates       int64     `json:"candidates"`
-		AutocompleteSize int       `json:"autocomplete_size"`
-		P50MS            float64   `json:"p50_ms"`
-		P95MS            float64   `json:"p95_ms"`
-		Cache            cacheJSON `json:"cache"`
+		Database         string      `json:"database"`
+		Requests         int64       `json:"requests"`
+		Errors           int64       `json:"errors"`
+		Candidates       int64       `json:"candidates"`
+		AutocompleteSize int         `json:"autocomplete_size"`
+		P50MS            float64     `json:"p50_ms"`
+		P95MS            float64     `json:"p95_ms"`
+		Cache            cacheJSON   `json:"cache"`
+		Storage          storageJSON `json:"storage"`
 	}
 	type statsJSON struct {
 		InFlight  int64    `json:"in_flight"`
@@ -449,6 +469,29 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		Databases: []dbJSON{},
 	}
 	for _, d := range st.Databases {
+		sto := storageJSON{
+			Rows:        d.Storage.Rows,
+			VectorBytes: d.Storage.VectorBytes,
+			DictBytes:   d.Storage.DictBytes,
+			Tables:      []tableJSON{},
+			Dicts:       []dictJSON{},
+		}
+		for _, tf := range d.Storage.Tables {
+			sto.Tables = append(sto.Tables, tableJSON{
+				Table:       tf.Table,
+				Rows:        tf.Rows,
+				VectorBytes: tf.VectorBytes,
+				DictBytes:   tf.DictBytes,
+			})
+		}
+		for _, dd := range d.Storage.Dicts {
+			sto.Dicts = append(sto.Dicts, dictJSON{
+				Table:   dd.Table,
+				Column:  dd.Column,
+				Entries: dd.Entries,
+				Bytes:   dd.Bytes,
+			})
+		}
 		out.Databases = append(out.Databases, dbJSON{
 			Database:         d.Database,
 			Requests:         d.Requests,
@@ -468,6 +511,7 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 				PrefixHitRate:  d.Cache.PrefixHitRate,
 				StreamedRate:   d.Cache.StreamedRate,
 			},
+			Storage: sto,
 		})
 	}
 	writeJSON(w, out)

@@ -346,6 +346,21 @@ func TestStatsEndpoint(t *testing.T) {
 				StreamedExists int64   `json:"streamed_exists"`
 				StreamedRate   float64 `json:"streamed_rate"`
 			} `json:"cache"`
+			Storage struct {
+				Rows        int   `json:"rows"`
+				VectorBytes int64 `json:"vector_bytes"`
+				DictBytes   int64 `json:"dict_bytes"`
+				Tables      []struct {
+					Table string `json:"table"`
+					Rows  int    `json:"rows"`
+				} `json:"tables"`
+				Dicts []struct {
+					Table   string `json:"table"`
+					Column  string `json:"column"`
+					Entries int    `json:"entries"`
+					Bytes   int64  `json:"bytes"`
+				} `json:"dicts"`
+			} `json:"storage"`
 		} `json:"databases"`
 	}
 	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
@@ -360,6 +375,22 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if mas.Cache.StreamedExists == 0 || mas.Cache.StreamedRate == 0 {
 		t.Errorf("mas cache stats = %+v", mas.Cache)
+	}
+	// Storage footprint: per-table column memory and dictionary sizes.
+	sto := mas.Storage
+	if sto.Rows == 0 || sto.VectorBytes == 0 || sto.DictBytes == 0 {
+		t.Errorf("mas storage stats = %+v", sto)
+	}
+	if len(sto.Tables) != 15 {
+		t.Errorf("mas storage tables = %d, want 15", len(sto.Tables))
+	}
+	if len(sto.Dicts) == 0 {
+		t.Fatalf("mas storage reports no dictionaries")
+	}
+	for _, d := range sto.Dicts {
+		if d.Table == "" || d.Column == "" || d.Entries == 0 || d.Bytes == 0 {
+			t.Errorf("dictionary stat missing fields: %+v", d)
+		}
 	}
 }
 

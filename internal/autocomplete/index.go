@@ -8,7 +8,6 @@ import (
 	"sort"
 	"strings"
 
-	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/storage"
 )
 
@@ -37,21 +36,25 @@ type Index struct {
 }
 
 // Build indexes every distinct value of every text column in the database.
+// The entries come straight from the storage engine's per-column string
+// dictionaries: an interned dictionary holds exactly the column's distinct
+// non-null values, so the build reads each value once instead of scanning
+// and de-duplicating rows.
 func Build(db *storage.Database) *Index {
 	idx := &Index{byToken: map[string][]int{}}
 	for _, col := range db.Schema.TextColumns() {
 		t := db.Schema.Table(col.Table)
-		vals, err := t.DistinctValues(col.Column, 0)
-		if err != nil {
+		vec := t.Vector(col.Column)
+		if vec == nil || vec.Dict() == nil {
 			continue
 		}
-		for _, v := range vals {
-			if v.Kind != sqlir.KindText || v.Text == "" {
+		for _, s := range vec.Dict().Strings() {
+			if s == "" {
 				continue
 			}
 			idx.byPrefix = append(idx.byPrefix, entry{
-				folded: strings.ToLower(v.Text),
-				hit:    Hit{Value: v.Text, Table: col.Table, Column: col.Column},
+				folded: strings.ToLower(s),
+				hit:    Hit{Value: s, Table: col.Table, Column: col.Column},
 			})
 		}
 	}
@@ -62,7 +65,12 @@ func Build(db *storage.Database) *Index {
 		if idx.byPrefix[i].hit.Table != idx.byPrefix[j].hit.Table {
 			return idx.byPrefix[i].hit.Table < idx.byPrefix[j].hit.Table
 		}
-		return idx.byPrefix[i].hit.Column < idx.byPrefix[j].hit.Column
+		if idx.byPrefix[i].hit.Column != idx.byPrefix[j].hit.Column {
+			return idx.byPrefix[i].hit.Column < idx.byPrefix[j].hit.Column
+		}
+		// Case-variant values share a fold within one column; break the tie
+		// on the stored value so the order is fully deterministic.
+		return idx.byPrefix[i].hit.Value < idx.byPrefix[j].hit.Value
 	})
 	for i, e := range idx.byPrefix {
 		for _, tok := range strings.Fields(e.folded) {

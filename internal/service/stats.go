@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/storage"
 )
 
 // CacheStats summarises one database's shared-cache effectiveness, derived
@@ -22,6 +23,26 @@ type CacheStats struct {
 	StreamedRate float64
 }
 
+// DictStats describes one text column's dictionary: how many distinct
+// strings it interns and how much memory they take.
+type DictStats struct {
+	Table   string
+	Column  string
+	Entries int
+	Bytes   int64
+}
+
+// StorageStats is the columnar footprint of one registered database:
+// per-table vector/dictionary memory plus each text column's dictionary,
+// so operators can see what every registered database costs to hold.
+type StorageStats struct {
+	Rows        int   // total rows across tables
+	VectorBytes int64 // typed column vectors + null bitmaps
+	DictBytes   int64 // interned string dictionaries
+	Tables      []storage.TableFootprint
+	Dicts       []DictStats // text columns only, schema order
+}
+
 // DBStats is the aggregated serving view of one registered database.
 type DBStats struct {
 	Database         string
@@ -30,6 +51,7 @@ type DBStats struct {
 	Candidates       int64
 	AutocompleteSize int // 0 until the shared index is first used
 	Cache            CacheStats
+	Storage          StorageStats
 	P50, P95         time.Duration // over the latency window; 0 if no requests
 }
 
@@ -94,7 +116,30 @@ func (ds *dbState) snapshot() DBStats {
 		PrefixHitRate: ratio(ps.PrefixHits, ps.PrefixHits+ps.JoinsBuilt),
 		StreamedRate:  ratio(ps.StreamedExists, ps.StreamedExists+ps.FallbackExists),
 	}
+	out.Storage = storageStats(ds.db)
 	return out
+}
+
+// storageStats snapshots the database's columnar footprint.
+func storageStats(db *storage.Database) StorageStats {
+	st := StorageStats{Tables: db.Footprint()}
+	for _, tf := range st.Tables {
+		st.Rows += tf.Rows
+		st.VectorBytes += tf.VectorBytes
+		st.DictBytes += tf.DictBytes
+		for _, cf := range tf.Columns {
+			if cf.DictEntries == 0 && cf.DictBytes == 0 {
+				continue
+			}
+			st.Dicts = append(st.Dicts, DictStats{
+				Table:   tf.Table,
+				Column:  cf.Column,
+				Entries: cf.DictEntries,
+				Bytes:   cf.DictBytes,
+			})
+		}
+	}
+	return st
 }
 
 // percentile returns the nearest-rank q-quantile of an ascending slice.

@@ -1,0 +1,137 @@
+package sqlexec_test
+
+import (
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/dataset"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// BenchmarkColumnar*: paired measurements of the columnar refactor. Each
+// pair runs the identical probe workload through the preserved pre-refactor
+// row-based streaming pipeline (RowPath: value-keyed hash indexes, cell
+// reads through the row adapter, string-built group keys) and through the
+// vectorized columnar pipeline (Columnar: float/dictionary-code keyed
+// indexes, typed predicate evaluators, fixed-width binary group keys).
+// Every Columnar benchmark first asserts probe-for-probe equivalence with
+// the row path and the materializing reference, so the speedup cannot come
+// from changed semantics. `make bench-storage` records the pairs (with
+// -benchmem, so allocs/op lands next to ns/op) into BENCH_storage.json.
+
+// checkThreeWayEquivalence asserts row path == columnar path == reference
+// on every probe, returning the answers.
+func checkThreeWayEquivalence(b *testing.B, db *storage.Database, probes []sqlexec.ExistsQuery) []bool {
+	b.Helper()
+	out := make([]bool, len(probes))
+	for i, eq := range probes {
+		colOK, colHandled, colErr := sqlexec.ExistsStreaming(db, eq)
+		rowOK, rowHandled, rowErr := sqlexec.ExistsRowStream(db, eq)
+		if colErr != nil || rowErr != nil {
+			b.Fatalf("probe %d: columnar err=%v row err=%v", i, colErr, rowErr)
+		}
+		if !colHandled || !rowHandled {
+			b.Fatalf("probe %d: not streamed (columnar=%v row=%v) — benchmark workload must stay on the pipelines", i, colHandled, rowHandled)
+		}
+		if colOK != rowOK {
+			b.Fatalf("probe %d: columnar=%v row=%v", i, colOK, rowOK)
+		}
+		refOK, refErr := sqlexec.ExistsReference(db, eq)
+		if refErr != nil {
+			b.Fatal(refErr)
+		}
+		if refOK != colOK {
+			b.Fatalf("probe %d: reference=%v streaming=%v", i, refOK, colOK)
+		}
+		out[i] = colOK
+	}
+	return out
+}
+
+func runRowPath(b *testing.B, db *storage.Database, probes []sqlexec.ExistsQuery) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eq := range probes {
+			if _, _, err := sqlexec.ExistsRowStream(db, eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func runColumnar(b *testing.B, db *storage.Database, probes []sqlexec.ExistsQuery) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, eq := range probes {
+			if _, _, err := sqlexec.ExistsStreaming(db, eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Flat existence probes (selective equality + range over the two-edge join).
+func BenchmarkColumnarExistsRowPath(b *testing.B) {
+	db := benchStore()
+	probes := benchProbes()
+	checkThreeWayEquivalence(b, db, probes)
+	runRowPath(b, db, probes)
+}
+
+func BenchmarkColumnarExistsColumnar(b *testing.B) {
+	db := benchStore()
+	probes := benchProbes()
+	checkThreeWayEquivalence(b, db, probes)
+	runColumnar(b, db, probes)
+}
+
+// Grouped existence (GROUP BY + HAVING): the headline pair — group keys and
+// per-group accumulators dominate, which is where dictionary codes and
+// fixed-width binary keys replace per-tuple string formatting.
+func BenchmarkColumnarGroupedExistsRowPath(b *testing.B) {
+	db := benchStore()
+	probes := benchGroupedProbes()
+	checkThreeWayEquivalence(b, db, probes)
+	runRowPath(b, db, probes)
+}
+
+func BenchmarkColumnarGroupedExistsColumnar(b *testing.B) {
+	db := benchStore()
+	probes := benchGroupedProbes()
+	checkThreeWayEquivalence(b, db, probes)
+	runColumnar(b, db, probes)
+}
+
+// End-to-end verification-shaped workload over the MAS database: random
+// by-row/by-column style probes from the differential generator, kept only
+// when both pipelines stream them (no fallback in the timed loop).
+func masVerificationProbes(b *testing.B) (*storage.Database, []sqlexec.ExistsQuery) {
+	b.Helper()
+	db := dataset.MAS()
+	g := newQueryGen(21, db)
+	var probes []sqlexec.ExistsQuery
+	for len(probes) < 250 {
+		eq := g.existsQuery()
+		_, colHandled, colErr := sqlexec.ExistsStreaming(db, eq)
+		_, rowHandled, rowErr := sqlexec.ExistsRowStream(db, eq)
+		if colErr != nil || rowErr != nil || !colHandled || !rowHandled {
+			continue
+		}
+		probes = append(probes, eq)
+	}
+	return db, probes
+}
+
+func BenchmarkColumnarVerifyMASRowPath(b *testing.B) {
+	db, probes := masVerificationProbes(b)
+	checkThreeWayEquivalence(b, db, probes)
+	runRowPath(b, db, probes)
+}
+
+func BenchmarkColumnarVerifyMASColumnar(b *testing.B) {
+	db, probes := masVerificationProbes(b)
+	checkThreeWayEquivalence(b, db, probes)
+	runColumnar(b, db, probes)
+}

@@ -482,3 +482,57 @@ func TestSumOverTextRejected(t *testing.T) {
 		t.Error("AVG over text column should error on the reference path")
 	}
 }
+
+// TestDifferentialColumnarVsRowPath is the three-oracle check behind the
+// columnar storage refactor: on random existence probes over Movies and
+// MAS, the vectorized columnar pipeline, the preserved pre-refactor
+// row-based pipeline, and the materializing reference executor must agree
+// probe-for-probe — same compile coverage, same answers, same errors. The
+// debug row-copy guard is enabled throughout, so any code path that
+// mutated a shared row slice would also surface here as a divergence or a
+// row/column consistency failure.
+func TestDifferentialColumnarVsRowPath(t *testing.T) {
+	prev := storage.SetDebugRowCopies(true)
+	defer storage.SetDebugRowCopies(prev)
+
+	for name, db := range diffDBs(t) {
+		t.Run(name, func(t *testing.T) {
+			g := newQueryGen(7, db)
+			for i := 0; i < 400; i++ {
+				eq := g.existsQuery()
+				colOK, colHandled, colErr := sqlexec.ExistsStreaming(db, eq)
+				rowOK, rowHandled, rowErr := sqlexec.ExistsRowStream(db, eq)
+				if colHandled != rowHandled {
+					t.Fatalf("probe %d: compile coverage diverges: columnar=%v row=%v", i, colHandled, rowHandled)
+				}
+				if !colHandled {
+					continue
+				}
+				if (colErr != nil) != (rowErr != nil) {
+					t.Fatalf("probe %d: error divergence: columnar=%v row=%v", i, colErr, rowErr)
+				}
+				if colErr != nil {
+					if colErr.Error() != rowErr.Error() {
+						t.Fatalf("probe %d: error text diverges: %v vs %v", i, colErr, rowErr)
+					}
+					continue
+				}
+				if colOK != rowOK {
+					t.Fatalf("probe %d: columnar=%v row=%v for %+v", i, colOK, rowOK, eq)
+				}
+				refOK, refErr := sqlexec.ExistsReference(db, eq)
+				if refErr != nil {
+					t.Fatalf("probe %d: reference errored where streaming did not: %v", i, refErr)
+				}
+				if refOK != colOK {
+					t.Fatalf("probe %d: reference=%v streaming=%v for %+v", i, refOK, colOK, eq)
+				}
+			}
+			for _, tb := range db.Schema.Tables {
+				if err := tb.CheckRowColumnConsistency(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

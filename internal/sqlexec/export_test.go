@@ -32,6 +32,20 @@ func (r *ReferenceRelation) ExistsOnReference(eq ExistsQuery) (bool, error) {
 	return existsOn(r.db, r.rel, eq)
 }
 
+// ExistsStreaming answers through the vectorized columnar streaming
+// pipeline only. handled=false means the probe did not compile and would
+// fall back to the materializing path.
+func ExistsStreaming(db *storage.Database, eq ExistsQuery) (ok, handled bool, err error) {
+	return streamExists(db, eq, &discardCounters)
+}
+
+// ExistsRowStream answers through the preserved pre-columnar row-based
+// streaming pipeline (rowstream.go) — the baseline the columnar path is
+// benchmarked and differentially tested against.
+func ExistsRowStream(db *storage.Database, eq ExistsQuery) (ok, handled bool, err error) {
+	return rowStreamExists(db, eq, &discardCounters)
+}
+
 // ExistsReference answers an exists query by materializing the join and
 // filtering — the reference oracle for the streaming pipeline.
 func ExistsReference(db *storage.Database, eq ExistsQuery) (bool, error) {

@@ -1,17 +1,24 @@
-// Streaming verification executor: instead of materializing the full join
-// and filtering afterwards (the reference path in exec.go), existence probes
-// compile their predicates into bound evaluators, seed the pipeline from the
-// most selective equality predicate's posting list in a persistent column
-// index, and walk the join tree as a pipelined index-nested-loop join that
-// short-circuits on the first witness. Grouped existence streams per-group
-// aggregate accumulators instead of buffering matching tuples. The pipeline
-// is behavior-preserving: any query shape it cannot compile falls back to
-// the materializing path, and grouped probes keep the reference tuple
-// enumeration order so floating-point aggregates stay bit-identical.
+// Vectorized streaming verification executor: existence probes compile
+// their predicates into typed evaluators over the storage engine's column
+// vectors — float comparisons for numeric columns, dictionary-code
+// comparisons for text equality — seed the pipeline from the most selective
+// equality predicate's posting list in a typed column index, and walk the
+// join tree as a pipelined index-nested-loop join whose probes are keyed by
+// float value or dictionary code instead of boxed sqlir.Value structs.
+// Grouped existence streams per-group aggregate accumulators under
+// fixed-width binary group keys (a tag byte plus the float bits or
+// dictionary code — no string formatting). The pipeline is
+// behavior-preserving: any query shape it cannot compile falls back to the
+// materializing path, and grouped probes keep the reference tuple
+// enumeration order so floating-point aggregates stay bit-identical. The
+// pre-columnar row-based pipeline is preserved in rowstream.go as a second
+// oracle and benchmark baseline.
 package sqlexec
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 	"sync/atomic"
 
@@ -68,28 +75,161 @@ func (pc *pipelineCounters) add(c *atomic.Int64, n int64) {
 // (the package-level Exists/Execute entry points).
 var discardCounters pipelineCounters
 
-// boundPred is a predicate compiled against a stream plan: the slot and
-// column ordinal are resolved once, so per-tuple evaluation is two slice
-// loads and an operator dispatch instead of a map lookup plus a linear
-// column-name scan.
+func errColNotInPath(c sqlir.ColumnRef) error {
+	return fmt.Errorf("sqlexec: column %s not in join path", c)
+}
+
+func errUnknownCol(c sqlir.ColumnRef) error {
+	return fmt.Errorf("sqlexec: unknown column %s", c)
+}
+
+func errEdgeUnknownColumn() error {
+	return fmt.Errorf("sqlexec: join edge references unknown column")
+}
+
+// predKind discriminates the compiled form of a bound predicate.
+type predKind uint8
+
+const (
+	// predGeneric materializes the cell and calls Op.Eval — the fallback
+	// that is correct for every (column type, literal kind, op) shape.
+	predGeneric predKind = iota
+	// predNum compares the raw float vector against a numeric literal.
+	predNum
+	// predTextEq/predTextNe compare dictionary codes against the
+	// literal's code — one integer compare, no string hashing.
+	predTextEq
+	predTextNe
+	// predTextNeAll: != against a string absent from the dictionary —
+	// every non-null row matches.
+	predTextNeAll
+	// predNever can match no row (NULL literal, or = against a string
+	// absent from the dictionary).
+	predNever
+)
+
+// boundPred is a predicate compiled against a stream plan: the slot is
+// resolved once and the comparison is specialized to the column vector's
+// type, so per-row evaluation is a bitmap test plus a typed compare.
 type boundPred struct {
 	slot int
-	col  int
+	vec  *storage.ColumnVec
+	kind predKind
 	op   sqlir.Op
+	fval float64
+	code uint32
 	val  sqlir.Value
 }
 
-func (bp boundPred) eval(p *streamPlan, tp []int32) bool {
-	v := p.tables[bp.slot].Row(int(tp[bp.slot]))[bp.col]
-	return bp.op.Eval(v, bp.val)
+func (bp *boundPred) eval(ri int32) bool {
+	i := int(ri)
+	switch bp.kind {
+	case predNum:
+		if bp.vec.IsNull(i) {
+			return false
+		}
+		f := bp.vec.Num(i)
+		switch bp.op {
+		case sqlir.OpEq:
+			return f == bp.fval
+		case sqlir.OpNe:
+			return f != bp.fval
+		case sqlir.OpLt:
+			return f < bp.fval
+		case sqlir.OpGt:
+			return f > bp.fval
+		case sqlir.OpLe:
+			// Not `f <= fval`: Value.Compare returns 0 when either side is
+			// NaN (both float comparisons false), so the reference treats
+			// NaN as satisfying <= and >=. The negated compare reproduces
+			// that exactly; for ordinary floats it is identical.
+			return !(f > bp.fval)
+		case sqlir.OpGe:
+			return !(f < bp.fval)
+		default: // LIKE on a numeric cell never matches
+			return false
+		}
+	case predTextEq:
+		return !bp.vec.IsNull(i) && bp.vec.Code(i) == bp.code
+	case predTextNe:
+		return !bp.vec.IsNull(i) && bp.vec.Code(i) != bp.code
+	case predTextNeAll:
+		return !bp.vec.IsNull(i)
+	case predNever:
+		return false
+	default:
+		return bp.op.Eval(bp.vec.Value(i), bp.val)
+	}
 }
 
+// compilePred specializes one predicate to its column vector. Every branch
+// reproduces Op.Eval's semantics exactly (NULL never matches; kind
+// mismatches fall to the generic evaluator, which encodes them).
+func compilePred(slot int, vec *storage.ColumnVec, op sqlir.Op, val sqlir.Value) boundPred {
+	bp := boundPred{slot: slot, vec: vec, kind: predGeneric, op: op, val: val}
+	switch {
+	case val.IsNull():
+		bp.kind = predNever
+	case vec.Type() == sqlir.TypeNumber && val.Kind == sqlir.KindNumber:
+		bp.kind = predNum
+		bp.fval = val.Num
+	case vec.Type() == sqlir.TypeText && val.Kind == sqlir.KindText && (op == sqlir.OpEq || op == sqlir.OpNe):
+		code, ok := uint32(0), false
+		if dict := vec.Dict(); dict != nil {
+			code, ok = dict.Lookup(val.Text)
+		}
+		switch {
+		case ok && op == sqlir.OpEq:
+			bp.kind, bp.code = predTextEq, code
+		case ok:
+			bp.kind, bp.code = predTextNe, code
+		case op == sqlir.OpEq:
+			bp.kind = predNever
+		default:
+			bp.kind = predTextNeAll
+		}
+	}
+	return bp
+}
+
+// stepKind discriminates how a join step probes the child index.
+type stepKind uint8
+
+const (
+	// stepNum probes the float-keyed index with the parent's numeric cell.
+	stepNum stepKind = iota
+	// stepText resolves the parent's interned string in the child
+	// dictionary and reads the code's posting list.
+	stepText
+	// stepNone joins columns of mismatched types: no value can ever match
+	// (exactly as a typed key never hits the other type's index entries).
+	stepNone
+)
+
 // streamStep extends a partial tuple by one join edge: probe the bound
-// probeSlot's probeCol value against the new table's hash index.
+// probeSlot's column vector against the child column's typed index.
 type streamStep struct {
 	probeSlot int
-	probeCol  int
-	index     map[sqlir.Value][]int32
+	kind      stepKind
+	probeVec  *storage.ColumnVec
+	idx       *storage.CodeIndex
+}
+
+// postings returns the child rows matching the parent tuple's cell, and
+// whether the cell was non-null (a NULL join key matches nothing).
+func (st *streamStep) postings(ri int32) ([]int32, bool) {
+	i := int(ri)
+	if st.probeVec.IsNull(i) {
+		return nil, false
+	}
+	switch st.kind {
+	case stepNum:
+		return st.idx.Num(st.probeVec.Num(i)), true
+	case stepText:
+		return st.idx.TextString(st.probeVec.Dict().String(st.probeVec.Code(i))), true
+	default:
+		return nil, true
+	}
 }
 
 // streamPlan is a compiled existence probe: slot layout, join steps in
@@ -113,11 +253,11 @@ type streamPlan struct {
 func (p *streamPlan) bindCol(c sqlir.ColumnRef) (int, int, error) {
 	slot, ok := p.slots[c.Table]
 	if !ok {
-		return 0, 0, fmt.Errorf("sqlexec: column %s not in join path", c)
+		return 0, 0, errColNotInPath(c)
 	}
 	ci := p.tables[slot].ColumnIndex(c.Column)
 	if ci < 0 {
-		return 0, 0, fmt.Errorf("sqlexec: unknown column %s", c)
+		return 0, 0, errUnknownCol(c)
 	}
 	return slot, ci, nil
 }
@@ -161,12 +301,69 @@ func orientEdges(db *storage.Database, jp *sqlir.JoinPath) ([]pathEdge, map[stri
 	return pes, inSet, nil
 }
 
-// buildStreamPlan compiles an exists query into a streaming plan. canReorder
-// allows the root to move to the most selective equality predicate's table;
-// it is only sound when tuple enumeration order is immaterial (the plain
-// no-GROUP-BY witness probe). With canReorder false the plan keeps the
-// reference executor's root and edge order, so emitted tuples appear in
-// exactly the order the materializing path would produce them.
+// splitPreds separates an exists query's predicates into AND-semantics
+// predicates (checkable at the shallowest binding slot) and OR-connected
+// predicates, shared by both streaming planners.
+func splitPreds(eq ExistsQuery) (andPreds, orRaw []sqlir.Predicate) {
+	andSem := eq.Conj == sqlir.LogicAnd || len(eq.Preds) <= 1
+	andPreds = make([]sqlir.Predicate, 0, len(eq.Preds)+len(eq.AndPreds))
+	if andSem {
+		andPreds = append(andPreds, eq.Preds...)
+	} else {
+		orRaw = eq.Preds
+	}
+	andPreds = append(andPreds, eq.AndPreds...)
+	return andPreds, orRaw
+}
+
+// walkJoinTree adds every join edge in plan order: reference edge order
+// when the root is the reference root, otherwise a BFS re-rooting at the
+// seed table. Shared by both streaming planners so their enumeration
+// orders stay identical.
+func walkJoinTree(jp *sqlir.JoinPath, pes []pathEdge, root string,
+	addStep func(parent, parentCol, child, childCol string) error) error {
+	if root == jp.Tables[0] {
+		// Reference enumeration order: edges exactly as introduced.
+		for _, pe := range pes {
+			if err := addStep(pe.a, pe.aCol, pe.b, pe.bCol); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Re-root the join tree at the seed table (BFS over the edge set).
+	type half struct{ fromCol, to, toCol string }
+	adj := map[string][]half{}
+	bound := map[string]bool{root: true}
+	for _, pe := range pes {
+		adj[pe.a] = append(adj[pe.a], half{pe.aCol, pe.b, pe.bCol})
+		adj[pe.b] = append(adj[pe.b], half{pe.bCol, pe.a, pe.aCol})
+	}
+	queue := []string{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, h := range adj[cur] {
+			if bound[h.to] {
+				continue
+			}
+			if err := addStep(cur, h.fromCol, h.to, h.toCol); err != nil {
+				return err
+			}
+			bound[h.to] = true
+			queue = append(queue, h.to)
+		}
+	}
+	return nil
+}
+
+// buildStreamPlan compiles an exists query into a vectorized streaming
+// plan. canReorder allows the root to move to the most selective equality
+// predicate's table; it is only sound when tuple enumeration order is
+// immaterial (the plain no-GROUP-BY witness probe). With canReorder false
+// the plan keeps the reference executor's root and edge order, so emitted
+// tuples appear in exactly the order the materializing path would produce
+// them.
 func buildStreamPlan(db *storage.Database, eq ExistsQuery, canReorder bool) (*streamPlan, error) {
 	jp := eq.From
 	pes, inSet, err := orientEdges(db, jp)
@@ -174,15 +371,7 @@ func buildStreamPlan(db *storage.Database, eq ExistsQuery, canReorder bool) (*st
 		return nil, err
 	}
 
-	andSem := eq.Conj == sqlir.LogicAnd || len(eq.Preds) <= 1
-	andPreds := make([]sqlir.Predicate, 0, len(eq.Preds)+len(eq.AndPreds))
-	var orRaw []sqlir.Predicate
-	if andSem {
-		andPreds = append(andPreds, eq.Preds...)
-	} else {
-		orRaw = eq.Preds
-	}
-	andPreds = append(andPreds, eq.AndPreds...)
+	andPreds, orRaw := splitPreds(eq)
 
 	// Predicate pushdown: seed the pipeline from the smallest posting list
 	// among the AND-semantics equality predicates. Posting lists preserve
@@ -202,11 +391,11 @@ func buildStreamPlan(db *storage.Database, eq ExistsQuery, canReorder bool) (*st
 		if t == nil || t.ColumnIndex(p.Col.Column) < 0 {
 			continue // surfaces as a bind error below
 		}
-		idx, ierr := t.Index(p.Col.Column)
+		ix, ierr := t.CodeIndex(p.Col.Column)
 		if ierr != nil {
 			continue
 		}
-		postings := idx[p.Val]
+		postings := ix.Postings(p.Val)
 		if best < 0 || len(postings) < best {
 			best = len(postings)
 			root = p.Col.Table
@@ -225,48 +414,29 @@ func buildStreamPlan(db *storage.Database, eq ExistsQuery, canReorder bool) (*st
 		probeCol := pt.ColumnIndex(parentCol)
 		ci := ct.ColumnIndex(childCol)
 		if probeCol < 0 || ci < 0 {
-			return fmt.Errorf("sqlexec: join edge references unknown column")
+			return errEdgeUnknownColumn()
 		}
-		idx, ierr := ct.Index(childCol)
+		ix, ierr := ct.CodeIndex(childCol)
 		if ierr != nil {
 			return ierr
 		}
+		probeVec := pt.VectorAt(probeCol)
+		kind := stepNone
+		switch {
+		case probeVec.Type() == sqlir.TypeNumber && ct.VectorAt(ci).Type() == sqlir.TypeNumber:
+			kind = stepNum
+		case probeVec.Type() == sqlir.TypeText && ct.VectorAt(ci).Type() == sqlir.TypeText:
+			kind = stepText
+		}
 		probeSlot := plan.slots[parent]
 		addTable(child)
-		plan.steps = append(plan.steps, streamStep{probeSlot: probeSlot, probeCol: probeCol, index: idx})
+		plan.steps = append(plan.steps, streamStep{probeSlot: probeSlot, kind: kind, probeVec: probeVec, idx: ix})
 		return nil
 	}
 
 	addTable(root)
-	if root == jp.Tables[0] {
-		// Reference enumeration order: edges exactly as introduced.
-		for _, pe := range pes {
-			if err := addStep(pe.a, pe.aCol, pe.b, pe.bCol); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		// Re-root the join tree at the seed table (BFS over the edge set).
-		type half struct{ fromCol, to, toCol string }
-		adj := map[string][]half{}
-		for _, pe := range pes {
-			adj[pe.a] = append(adj[pe.a], half{pe.aCol, pe.b, pe.bCol})
-			adj[pe.b] = append(adj[pe.b], half{pe.bCol, pe.a, pe.aCol})
-		}
-		queue := []string{root}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, h := range adj[cur] {
-				if _, bound := plan.slots[h.to]; bound {
-					continue
-				}
-				if err := addStep(cur, h.fromCol, h.to, h.toCol); err != nil {
-					return nil, err
-				}
-				queue = append(queue, h.to)
-			}
-		}
+	if err := walkJoinTree(jp, pes, root, addStep); err != nil {
+		return nil, err
 	}
 
 	plan.predsAt = make([][]boundPred, len(plan.tables))
@@ -295,7 +465,7 @@ func (p *streamPlan) bindPred(pr sqlir.Predicate) (boundPred, error) {
 	if err != nil {
 		return boundPred{}, err
 	}
-	return boundPred{slot: slot, col: ci, op: pr.Op, val: pr.Val}, nil
+	return compilePred(slot, p.tables[slot].VectorAt(ci), pr.Op, pr.Val), nil
 }
 
 // run enumerates joined tuples depth-first, evaluating each bound predicate
@@ -306,15 +476,15 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 	var probes int64
 
 	check := func(depth int) bool {
-		for _, bp := range p.predsAt[depth] {
-			if !bp.eval(p, tp) {
+		for i := range p.predsAt[depth] {
+			if !p.predsAt[depth][i].eval(tp[p.predsAt[depth][i].slot]) {
 				return false
 			}
 		}
 		if len(p.orPreds) > 0 && depth == p.orDepth {
 			hit := false
-			for _, bp := range p.orPreds {
-				if bp.eval(p, tp) {
+			for i := range p.orPreds {
+				if p.orPreds[i].eval(tp[p.orPreds[i].slot]) {
 					hit = true
 					break
 				}
@@ -331,13 +501,13 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 		if depth == len(p.tables) {
 			return emit(tp)
 		}
-		step := p.steps[depth-1]
-		v := p.tables[step.probeSlot].Row(int(tp[step.probeSlot]))[step.probeCol]
-		if v.IsNull() {
+		step := &p.steps[depth-1]
+		postings, ok := step.postings(tp[step.probeSlot])
+		if !ok {
 			return false, nil
 		}
 		probes++
-		for _, ri := range step.index[v] {
+		for _, ri := range postings {
 			tp[depth] = ri
 			if !check(depth) {
 				continue
@@ -375,11 +545,12 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 	return nil
 }
 
-// streamExists answers an exists query through the streaming pipeline.
-// handled=false means the query could not be compiled (structurally broken
-// path, predicate outside it, or an unsupported HAVING shape); the caller
-// must fall back to the materializing path, which reproduces the reference
-// behavior — including its error messages — exactly.
+// streamExists answers an exists query through the vectorized streaming
+// pipeline. handled=false means the query could not be compiled
+// (structurally broken path, predicate outside it, or an unsupported HAVING
+// shape); the caller must fall back to the materializing path, which
+// reproduces the reference behavior — including its error messages —
+// exactly.
 func streamExists(db *storage.Database, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
 	grouped := len(eq.GroupBy) > 0 || len(eq.Havings) > 0
 	plan, perr := buildStreamPlan(db, eq, !grouped)
@@ -406,12 +577,6 @@ func streamExists(db *storage.Database, eq ExistsQuery, pc *pipelineCounters) (o
 	return ok, handled, err
 }
 
-// groupCol is one aggregated column tracked per group state.
-type groupCol struct {
-	slot, col int
-	ref       sqlir.ColumnRef
-}
-
 // groupAcc accumulates one column's aggregates over a streamed group,
 // mirroring evalAggregate's accumulation exactly (including NULL handling
 // and first-value semantics for unaggregated HAVING columns). The first
@@ -429,27 +594,86 @@ type groupAcc struct {
 	hasBad   bool
 }
 
+// observe folds one cell into the accumulator (evalAggregate's loop body).
+func (a *groupAcc) observe(v sqlir.Value) {
+	if !a.hasFirst {
+		a.first, a.hasFirst = v, true
+	}
+	if v.IsNull() {
+		return
+	}
+	if !a.hasBad && v.Kind != sqlir.KindNumber {
+		a.bad, a.hasBad = v, true
+	}
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v.Less(a.min) {
+			a.min = v
+		}
+		if a.max.Less(v) {
+			a.max = v
+		}
+	}
+	if v.Kind == sqlir.KindNumber {
+		a.sum += v.Num
+	}
+	a.count++
+}
+
 type groupState struct {
 	rows int
 	accs []groupAcc
 }
 
+// checkGroupHavings evaluates the HAVING conditions over streamed group
+// states in discovery order, shared by both streaming pipelines.
+func checkGroupHavings(order []*groupState, refs []sqlir.ColumnRef, colAt map[sqlir.ColumnRef]int, eq ExistsQuery) (ok, handled bool, err error) {
+	for _, st := range order {
+		pass := true
+		for _, h := range eq.Havings {
+			hv, herr := streamedHavingValue(st, refs, colAt, h)
+			if herr != nil {
+				return false, true, herr
+			}
+			if !h.Op.Eval(hv, h.Val) {
+				pass = false
+				break
+			}
+		}
+		if pass && (st.rows > 0 || len(eq.GroupBy) == 0) {
+			return true, true, nil
+		}
+	}
+	return false, true, nil
+}
+
 // streamGroupedExists streams matching tuples into per-group aggregate
 // states — no tuple buffering — then checks HAVING per group. The plan keeps
 // reference enumeration order, so group discovery order and floating-point
-// accumulation order match the materializing path bit for bit.
+// accumulation order match the materializing path bit for bit. Group keys
+// are fixed-width binary encodings of the typed cells (dictionary code or
+// float bits), not formatted strings.
 func streamGroupedExists(plan *streamPlan, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
-	type keyCol struct{ slot, col int }
+	type keyCol struct {
+		slot int
+		vec  *storage.ColumnVec
+	}
 	keys := make([]keyCol, 0, len(eq.GroupBy))
 	for _, g := range eq.GroupBy {
 		slot, ci, berr := plan.bindCol(g)
 		if berr != nil {
 			return false, false, nil
 		}
-		keys = append(keys, keyCol{slot, ci})
+		keys = append(keys, keyCol{slot, plan.tables[slot].VectorAt(ci)})
 	}
 
-	var cols []groupCol
+	type aggCol struct {
+		slot int
+		vec  *storage.ColumnVec
+	}
+	var cols []aggCol
+	var refs []sqlir.ColumnRef
 	colAt := map[sqlir.ColumnRef]int{}
 	for _, h := range eq.Havings {
 		if h.Col.IsStar() {
@@ -467,91 +691,123 @@ func streamGroupedExists(plan *streamPlan, eq ExistsQuery, pc *pipelineCounters)
 				return false, false, nil
 			}
 			colAt[h.Col] = len(cols)
-			cols = append(cols, groupCol{slot: slot, col: ci, ref: h.Col})
+			cols = append(cols, aggCol{slot: slot, vec: plan.tables[slot].VectorAt(ci)})
+			refs = append(refs, h.Col)
 		}
 	}
 
-	states := map[string]*groupState{}
 	var order []*groupState
+	newState := func() *groupState {
+		st := &groupState{accs: make([]groupAcc, len(cols))}
+		order = append(order, st)
+		return st
+	}
 	if len(eq.GroupBy) == 0 {
 		// SQL's implicit single group exists even over zero rows.
-		st := &groupState{accs: make([]groupAcc, len(cols))}
-		states[""] = st
-		order = append(order, st)
+		newState()
 	}
 
-	var keyBuf []byte
+	// Group-state lookup, specialized to the key shape. A single-column key
+	// — the overwhelmingly common grouping — is looked up directly by float
+	// bits or dictionary code through the runtime's fast integer map paths,
+	// with NULL (and NaN, which a float map could never find again) routed
+	// to dedicated states. Multi-column keys fall back to the fixed-width
+	// binary encoding. Each specialization partitions rows exactly as
+	// Value.Equal does, so group contents match the reference path.
+	var getState func(tp []int32) *groupState
+	switch {
+	case len(eq.GroupBy) == 0:
+		st := order[0]
+		getState = func([]int32) *groupState { return st }
+	case len(keys) == 1 && keys[0].vec.Type() == sqlir.TypeNumber:
+		k := keys[0]
+		var nullState, nanState *groupState
+		fm := map[uint64]*groupState{}
+		getState = func(tp []int32) *groupState {
+			ri := int(tp[k.slot])
+			if k.vec.IsNull(ri) {
+				if nullState == nil {
+					nullState = newState()
+				}
+				return nullState
+			}
+			f := k.vec.Num(ri)
+			if f != f {
+				// NaN: the pre-refactor string key grouped all NaNs
+				// together; a float-keyed map never would.
+				if nanState == nil {
+					nanState = newState()
+				}
+				return nanState
+			}
+			if f == 0 {
+				f = 0 // collapse -0.0 onto +0.0, as Value.Equal does
+			}
+			b := math.Float64bits(f)
+			st, ok := fm[b]
+			if !ok {
+				st = newState()
+				fm[b] = st
+			}
+			return st
+		}
+	case len(keys) == 1 && keys[0].vec.Type() == sqlir.TypeText:
+		k := keys[0]
+		var nullState *groupState
+		cm := map[uint32]*groupState{}
+		getState = func(tp []int32) *groupState {
+			ri := int(tp[k.slot])
+			if k.vec.IsNull(ri) {
+				if nullState == nil {
+					nullState = newState()
+				}
+				return nullState
+			}
+			c := k.vec.Code(ri)
+			st, ok := cm[c]
+			if !ok {
+				st = newState()
+				cm[c] = st
+			}
+			return st
+		}
+	default:
+		states := map[string]*groupState{}
+		var keyBuf []byte
+		getState = func(tp []int32) *groupState {
+			keyBuf = keyBuf[:0]
+			for _, k := range keys {
+				keyBuf = appendVecKey(keyBuf, k.vec, int(tp[k.slot]))
+			}
+			st, ok := states[string(keyBuf)]
+			if !ok {
+				st = &groupState{accs: make([]groupAcc, len(cols))}
+				order = append(order, st)
+				states[string(keyBuf)] = st
+			}
+			return st
+		}
+	}
+
 	rerr := plan.run(pc, func(tp []int32) (bool, error) {
-		keyBuf = keyBuf[:0]
-		for _, k := range keys {
-			v := plan.tables[k.slot].Row(int(tp[k.slot]))[k.col]
-			keyBuf = appendValueKey(keyBuf, v)
-		}
-		st, seen := states[string(keyBuf)]
-		if !seen {
-			st = &groupState{accs: make([]groupAcc, len(cols))}
-			states[string(keyBuf)] = st
-			order = append(order, st)
-		}
+		st := getState(tp)
 		st.rows++
 		for i := range cols {
-			c := &cols[i]
-			v := plan.tables[c.slot].Row(int(tp[c.slot]))[c.col]
-			a := &st.accs[i]
-			if !a.hasFirst {
-				a.first, a.hasFirst = v, true
-			}
-			if v.IsNull() {
-				continue
-			}
-			if !a.hasBad && v.Kind != sqlir.KindNumber {
-				a.bad, a.hasBad = v, true
-			}
-			if a.count == 0 {
-				a.min, a.max = v, v
-			} else {
-				if v.Less(a.min) {
-					a.min = v
-				}
-				if a.max.Less(v) {
-					a.max = v
-				}
-			}
-			if v.Kind == sqlir.KindNumber {
-				a.sum += v.Num
-			}
-			a.count++
+			st.accs[i].observe(cols[i].vec.Value(int(tp[cols[i].slot])))
 		}
 		return false, nil
 	})
 	if rerr != nil {
 		return false, true, rerr
 	}
-
-	for _, st := range order {
-		pass := true
-		for _, h := range eq.Havings {
-			hv, herr := streamedHavingValue(st, cols, colAt, h)
-			if herr != nil {
-				return false, true, herr
-			}
-			if !h.Op.Eval(hv, h.Val) {
-				pass = false
-				break
-			}
-		}
-		if pass && (st.rows > 0 || len(eq.GroupBy) == 0) {
-			return true, true, nil
-		}
-	}
-	return false, true, nil
+	return checkGroupHavings(order, refs, colAt, eq)
 }
 
 // streamedHavingValue reads one HAVING aggregate off a streamed group state,
 // with the same empty-group and non-numeric-rejection semantics as
 // evalAggregate — in particular, SUM/AVG over non-numeric data only errors
 // when that aggregate is actually evaluated for a group.
-func streamedHavingValue(st *groupState, cols []groupCol, colAt map[sqlir.ColumnRef]int, h sqlir.HavingExpr) (sqlir.Value, error) {
+func streamedHavingValue(st *groupState, refs []sqlir.ColumnRef, colAt map[sqlir.ColumnRef]int, h sqlir.HavingExpr) (sqlir.Value, error) {
 	if h.Col.IsStar() {
 		return sqlir.NewInt(st.rows), nil
 	}
@@ -571,7 +827,7 @@ func streamedHavingValue(st *groupState, cols []groupCol, colAt map[sqlir.Column
 		return a.max, nil
 	case sqlir.AggSum:
 		if a.hasBad {
-			return sqlir.Null(), errNonNumericAgg(cols[i].ref, a.bad)
+			return sqlir.Null(), errNonNumericAgg(refs[i], a.bad)
 		}
 		if a.count == 0 {
 			return sqlir.Null(), nil
@@ -579,7 +835,7 @@ func streamedHavingValue(st *groupState, cols []groupCol, colAt map[sqlir.Column
 		return sqlir.NewNumber(a.sum), nil
 	case sqlir.AggAvg:
 		if a.hasBad {
-			return sqlir.Null(), errNonNumericAgg(cols[i].ref, a.bad)
+			return sqlir.Null(), errNonNumericAgg(refs[i], a.bad)
 		}
 		if a.count == 0 {
 			return sqlir.Null(), nil
@@ -596,12 +852,43 @@ func errNonNumericAgg(col sqlir.ColumnRef, v sqlir.Value) error {
 	return fmt.Errorf("sqlexec: SUM/AVG over non-numeric value %s in column %s", v, col)
 }
 
+// appendVecKey appends a fixed-width, kind-tagged binary encoding of one
+// cell to a group-key buffer: 'z' for NULL, 'c' + the 4-byte dictionary
+// code for text, 'n' + the 8-byte float bits for numbers (-0 normalized to
+// +0, matching Value.Equal). Each tag determines its payload length, so the
+// concatenation over key columns is prefix-free and therefore injective —
+// key equality coincides with Value.Equal per column, with none of
+// appendValueKey's decimal float formatting.
+func appendVecKey(buf []byte, vec *storage.ColumnVec, ri int) []byte {
+	if vec.IsNull(ri) {
+		return append(buf, 'z')
+	}
+	switch vec.Type() {
+	case sqlir.TypeNumber:
+		f := vec.Num(ri)
+		if f == 0 {
+			f = 0 // collapse -0.0 onto +0.0, which Value.Equal treats as equal
+		}
+		if f != f {
+			// Canonicalize NaN payloads: the reference key renders every
+			// NaN as the same string, so all NaNs must share one group.
+			f = math.NaN()
+		}
+		return binary.LittleEndian.AppendUint64(append(buf, 'n'), math.Float64bits(f))
+	case sqlir.TypeText:
+		return binary.LittleEndian.AppendUint32(append(buf, 'c'), vec.Code(ri))
+	default:
+		return append(buf, 'z')
+	}
+}
+
 // appendValueKey appends an injective, kind-tagged encoding of v to buf —
-// the shared key builder for grouping, DISTINCT, and streamed group states.
-// Text is length-prefixed so payloads containing the separator byte cannot
-// collide across adjacent values; numbers rely on FormatFloat 'g/-1'
-// round-tripping exactly. Key equality therefore coincides with Value.Equal
-// on concatenated encodings.
+// the shared key builder for the materializing executor's grouping and
+// DISTINCT (and the row-path pipeline's streamed group states). Text is
+// length-prefixed so payloads containing the separator byte cannot collide
+// across adjacent values; numbers rely on FormatFloat 'g/-1' round-tripping
+// exactly. Key equality therefore coincides with Value.Equal on
+// concatenated encodings.
 func appendValueKey(buf []byte, v sqlir.Value) []byte {
 	switch v.Kind {
 	case sqlir.KindText:

@@ -1,0 +1,403 @@
+// Columnar storage: every table column is additionally held as a typed
+// vector — []float64 for numeric columns, dictionary-encoded []uint32 codes
+// plus an interned string table for text columns, and a null bitmap for
+// both. The vectors are the authoritative representation for the vectorized
+// execution path in sqlexec; the historical row API (Row/Rows) is kept in
+// sync by Insert as a thin adapter so the materializing reference executor
+// is untouched during the migration.
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+)
+
+// Dict is a per-column string dictionary: every distinct non-null text value
+// inserted into the column is interned once and addressed by a dense uint32
+// code. Codes are assigned in first-appearance order and never change, so a
+// code remains valid across Inserts (Insert only ever appends entries).
+type Dict struct {
+	strs  []string
+	codes map[string]uint32
+}
+
+// intern returns the code for s, assigning the next code on first sight.
+func (d *Dict) intern(s string) uint32 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	if d.codes == nil {
+		d.codes = map[string]uint32{}
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.codes[s] = c
+	return c
+}
+
+// Lookup returns the code for s, reporting whether s is interned. A miss
+// means no row of the column holds s.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// String returns the interned string for a code.
+func (d *Dict) String(code uint32) string { return d.strs[code] }
+
+// Size returns the number of interned strings — exactly the column's
+// distinct non-null value count, since entries are never removed.
+func (d *Dict) Size() int { return len(d.strs) }
+
+// Strings returns the interned string table in code order (shared slice;
+// callers must not mutate). Autocomplete builds its inverted index from
+// this instead of re-scanning and de-duplicating rows.
+func (d *Dict) Strings() []string { return d.strs }
+
+// Bytes estimates the dictionary's memory footprint: string payloads plus
+// string headers and the code map entries.
+func (d *Dict) Bytes() int64 {
+	var n int64
+	for _, s := range d.strs {
+		n += int64(len(s)) + 16 // payload + string header
+	}
+	// map entry ≈ string header + uint32 + bucket overhead.
+	n += int64(len(d.strs)) * 28
+	return n
+}
+
+// ColumnVec is one column's typed vector. Exactly one of nums/codes is
+// populated, matching the column's declared type; nulls marks NULL rows in
+// either representation (the slot in nums/codes holds a zero placeholder).
+type ColumnVec struct {
+	typ       sqlir.Type
+	nums      []float64
+	codes     []uint32
+	dict      *Dict
+	nulls     []uint64 // bitmap, bit i set = row i is NULL
+	n         int
+	nullCount int
+}
+
+// Type returns the column's declared type.
+func (v *ColumnVec) Type() sqlir.Type { return v.typ }
+
+// Len returns the row count.
+func (v *ColumnVec) Len() int { return v.n }
+
+// NullCount returns the number of NULL rows.
+func (v *ColumnVec) NullCount() int { return v.nullCount }
+
+// IsNull reports whether row i is NULL.
+func (v *ColumnVec) IsNull(i int) bool {
+	return v.nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Num returns row i's numeric value (0 when the row is NULL; check IsNull).
+func (v *ColumnVec) Num(i int) float64 { return v.nums[i] }
+
+// Code returns row i's dictionary code (0 when the row is NULL; check
+// IsNull before trusting it — 0 is also a valid code).
+func (v *ColumnVec) Code(i int) uint32 { return v.codes[i] }
+
+// Dict returns the column's string dictionary (nil for numeric columns).
+func (v *ColumnVec) Dict() *Dict { return v.dict }
+
+// Value materializes row i as a sqlir.Value. The returned struct shares the
+// interned string, so this allocates nothing.
+func (v *ColumnVec) Value(i int) sqlir.Value {
+	if v.IsNull(i) {
+		return sqlir.Null()
+	}
+	switch v.typ {
+	case sqlir.TypeNumber:
+		return sqlir.NewNumber(v.nums[i])
+	case sqlir.TypeText:
+		return sqlir.NewText(v.dict.strs[v.codes[i]])
+	default:
+		return sqlir.Null()
+	}
+}
+
+// appendValue extends the vector by one row. val's type has already been
+// checked against the column type by Insert.
+func (v *ColumnVec) appendValue(val sqlir.Value) {
+	i := v.n
+	v.n++
+	if i>>6 >= len(v.nulls) {
+		v.nulls = append(v.nulls, 0)
+	}
+	if val.IsNull() {
+		v.nulls[i>>6] |= 1 << (uint(i) & 63)
+		v.nullCount++
+		switch v.typ {
+		case sqlir.TypeNumber:
+			v.nums = append(v.nums, 0)
+		case sqlir.TypeText:
+			v.codes = append(v.codes, 0)
+		}
+		return
+	}
+	switch v.typ {
+	case sqlir.TypeNumber:
+		v.nums = append(v.nums, val.Num)
+	case sqlir.TypeText:
+		if v.dict == nil {
+			v.dict = &Dict{}
+		}
+		v.codes = append(v.codes, v.dict.intern(val.Text))
+	}
+}
+
+// vectorBytes estimates the vector's memory footprint excluding the
+// dictionary (reported separately).
+func (v *ColumnVec) vectorBytes() int64 {
+	return int64(len(v.nums))*8 + int64(len(v.codes))*4 + int64(len(v.nulls))*8
+}
+
+// CodeIndex is a typed posting-list index over one column, the vectorized
+// analogue of Table.Index: numeric columns key postings by float value,
+// text columns by dictionary code (a dense slice, not a map). Columns whose
+// non-null values are all integers in a compact range — the FK/PK id
+// columns every join probes — get a dense array index instead of a hash
+// map, so a join probe is an array load rather than a float hash. Posting
+// lists preserve row order. Built lazily, memoized until the next Insert.
+type CodeIndex struct {
+	once sync.Once
+	vec  *ColumnVec
+	num  map[float64][]int32 // numeric columns; ±0 collapse like Value.Equal
+	text [][]int32           // text columns: postings[code]
+
+	// dense array index for compact integer columns: postings for value v
+	// live at dense[int(v)-off]. nil when the column is not dense.
+	dense [][]int32
+	off   int
+}
+
+// Num returns the posting list for a float value (nil when absent).
+func (ix *CodeIndex) Num(f float64) []int32 {
+	if ix.dense != nil {
+		if f != math.Trunc(f) || f < float64(ix.off) || f >= float64(ix.off+len(ix.dense)) {
+			return nil
+		}
+		return ix.dense[int(f)-ix.off]
+	}
+	return ix.num[f]
+}
+
+// Text returns the posting list for a dictionary code (nil when out of
+// range — a code interned after the index was built has no postings, but
+// Insert invalidates the index before that can be observed).
+func (ix *CodeIndex) Text(code uint32) []int32 {
+	if int(code) >= len(ix.text) {
+		return nil
+	}
+	return ix.text[code]
+}
+
+// TextString returns the posting list for a string value via the dictionary
+// (nil when the string is not stored in the column).
+func (ix *CodeIndex) TextString(s string) []int32 {
+	if ix.vec.dict == nil {
+		return nil
+	}
+	c, ok := ix.vec.dict.Lookup(s)
+	if !ok {
+		return nil
+	}
+	return ix.Text(c)
+}
+
+// Postings returns the posting list for an arbitrary value: typed lookups
+// for matching kinds, nil for NULL or kind-mismatched probes (a text value
+// never matches a numeric column, exactly as the value-keyed index).
+func (ix *CodeIndex) Postings(v sqlir.Value) []int32 {
+	switch {
+	case v.Kind == sqlir.KindNumber && ix.vec.typ == sqlir.TypeNumber:
+		return ix.Num(v.Num)
+	case v.Kind == sqlir.KindText && ix.vec.typ == sqlir.TypeText:
+		return ix.TextString(v.Text)
+	default:
+		return nil
+	}
+}
+
+func (ix *CodeIndex) build() {
+	vec := ix.vec
+	switch vec.typ {
+	case sqlir.TypeNumber:
+		if ix.buildDense() {
+			return
+		}
+		ix.num = make(map[float64][]int32, vec.n-vec.nullCount)
+		for i := 0; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			ix.num[vec.nums[i]] = append(ix.num[vec.nums[i]], int32(i))
+		}
+	case sqlir.TypeText:
+		size := 0
+		if vec.dict != nil {
+			size = vec.dict.Size()
+		}
+		ix.text = make([][]int32, size)
+		for i := 0; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			c := vec.codes[i]
+			ix.text[c] = append(ix.text[c], int32(i))
+		}
+	}
+}
+
+// buildDense tries the array-backed layout: every non-null value must be an
+// integer and the value range must stay within a small multiple of the row
+// count (so id-like columns qualify and sparse ones fall back to the map).
+// Reports whether the dense index was built.
+func (ix *CodeIndex) buildDense() bool {
+	vec := ix.vec
+	nonNull := vec.n - vec.nullCount
+	if nonNull == 0 {
+		return false
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < vec.n; i++ {
+		if vec.IsNull(i) {
+			continue
+		}
+		f := vec.nums[i]
+		if f != math.Trunc(f) || math.Abs(f) > 1<<31 {
+			return false
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	width := hi - lo + 1
+	if width > float64(4*nonNull)+1024 {
+		return false // sparse ids: a dense array would be mostly holes
+	}
+	ix.off = int(lo)
+	ix.dense = make([][]int32, int(width))
+	for i := 0; i < vec.n; i++ {
+		if vec.IsNull(i) {
+			continue
+		}
+		slot := int(vec.nums[i]) - ix.off
+		ix.dense[slot] = append(ix.dense[slot], int32(i))
+	}
+	return true
+}
+
+// Vector returns the named column's typed vector, or nil if the column does
+// not exist. The vector is live: Insert extends it in place, so like Rows
+// the snapshot is only stable while no concurrent Insert runs.
+func (t *Table) Vector(col string) *ColumnVec {
+	ci := t.ColumnIndex(col)
+	if ci < 0 {
+		return nil
+	}
+	return &t.vecs[ci]
+}
+
+// VectorAt returns the i-th column's typed vector.
+func (t *Table) VectorAt(ci int) *ColumnVec { return &t.vecs[ci] }
+
+// CodeIndex returns the typed posting-list index of the named column,
+// lazily built and memoized until the next Insert — the code-keyed
+// counterpart of Index used by the vectorized streaming pipeline.
+func (t *Table) CodeIndex(col string) (*CodeIndex, error) {
+	ci := t.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
+	}
+	t.hashMu.Lock()
+	if t.codeIdx == nil {
+		t.codeIdx = map[int]*CodeIndex{}
+	}
+	ix, ok := t.codeIdx[ci]
+	if !ok {
+		ix = &CodeIndex{vec: &t.vecs[ci]}
+		t.codeIdx[ci] = ix
+	}
+	t.hashMu.Unlock()
+	ix.once.Do(ix.build)
+	return ix, nil
+}
+
+// ColumnFootprint reports one column's storage cost for the operator stats:
+// how large the typed vector is and, for text columns, how much the
+// dictionary holds.
+type ColumnFootprint struct {
+	Column      string
+	Type        sqlir.Type
+	Rows        int
+	Nulls       int
+	DictEntries int   // distinct interned strings; 0 for numeric columns
+	DictBytes   int64 // dictionary payload + headers; 0 for numeric columns
+	VectorBytes int64 // codes/nums vector + null bitmap
+}
+
+// Footprint reports per-column storage statistics for the table.
+func (t *Table) Footprint() []ColumnFootprint {
+	out := make([]ColumnFootprint, len(t.Columns))
+	for i, c := range t.Columns {
+		vec := &t.vecs[i]
+		fp := ColumnFootprint{
+			Column:      c.Name,
+			Type:        c.Type,
+			Rows:        vec.n,
+			Nulls:       vec.nullCount,
+			VectorBytes: vec.vectorBytes(),
+		}
+		if vec.dict != nil {
+			fp.DictEntries = vec.dict.Size()
+			fp.DictBytes = vec.dict.Bytes()
+		}
+		out[i] = fp
+	}
+	return out
+}
+
+// TableFootprint aggregates one table's columnar storage cost.
+type TableFootprint struct {
+	Table       string
+	Rows        int
+	VectorBytes int64
+	DictBytes   int64
+	Columns     []ColumnFootprint
+}
+
+// Footprint reports per-table columnar storage statistics for the whole
+// database, in schema order.
+func (d *Database) Footprint() []TableFootprint {
+	out := make([]TableFootprint, 0, len(d.Schema.Tables))
+	for _, t := range d.Schema.Tables {
+		tf := TableFootprint{Table: t.Name, Rows: t.NumRows(), Columns: t.Footprint()}
+		for _, cf := range tf.Columns {
+			tf.VectorBytes += cf.VectorBytes
+			tf.DictBytes += cf.DictBytes
+		}
+		out = append(out, tf)
+	}
+	return out
+}
+
+// sortFloats sorts and deduplicates distinct numeric values.
+func sortFloats(set map[float64]struct{}) []float64 {
+	out := make([]float64, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Float64s(out)
+	return out
+}

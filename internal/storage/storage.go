@@ -34,13 +34,17 @@ func (fk ForeignKey) String() string {
 	return fk.Table + "." + fk.Column + " -> " + fk.RefTable + "." + fk.RefColumn
 }
 
-// Table is a named collection of typed rows.
+// Table is a named collection of typed rows, stored column-wise: the
+// authoritative representation is one typed vector per column (see
+// column.go), with the historical row slices kept in sync by Insert as an
+// adapter for the materializing reference executor.
 type Table struct {
 	Name       string
 	Columns    []Column
 	PrimaryKey string
 
 	rows   [][]sqlir.Value
+	vecs   []ColumnVec
 	colIdx map[string]int
 
 	// gen counts data changes; cross-request caches (join cache,
@@ -48,8 +52,9 @@ type Table struct {
 	// staleness after an Insert.
 	gen atomic.Int64
 
-	hashMu sync.Mutex
-	hash   map[string]*hashIndex
+	hashMu  sync.Mutex
+	hash    map[string]*hashIndex
+	codeIdx map[int]*CodeIndex
 }
 
 // hashIndex is one lazily built per-column hash index. The sync.Once gates
@@ -63,8 +68,10 @@ type hashIndex struct {
 // NewTable creates an empty table.
 func NewTable(name string, pk string, cols ...Column) *Table {
 	t := &Table{Name: name, Columns: cols, PrimaryKey: pk, colIdx: map[string]int{}}
+	t.vecs = make([]ColumnVec, len(cols))
 	for i, c := range cols {
 		t.colIdx[c.Name] = i
+		t.vecs[i].typ = c.Type
 	}
 	return t
 }
@@ -89,11 +96,63 @@ func (t *Table) Column(name string) (Column, bool) {
 // NumRows returns the row count.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Row returns the i-th row (shared slice; callers must not mutate).
-func (t *Table) Row(i int) []sqlir.Value { return t.rows[i] }
+// debugRowCopies makes Row and Rows return defensive copies so test builds
+// can prove no caller mutates table data through the shared slices (the
+// columnar vectors are authoritative; a mutated shared row would silently
+// diverge from them). Enabled by SetDebugRowCopies in tests only — the copy
+// per access is far too slow for production paths.
+var debugRowCopies bool
+
+// SetDebugRowCopies toggles defensive row copying (test builds only) and
+// returns the previous setting. Not safe to flip concurrently with queries.
+func SetDebugRowCopies(on bool) bool {
+	prev := debugRowCopies
+	debugRowCopies = on
+	return prev
+}
+
+// Row returns the i-th row (shared slice; callers must not mutate — enable
+// SetDebugRowCopies in tests to verify none does).
+func (t *Table) Row(i int) []sqlir.Value {
+	if debugRowCopies {
+		cp := make([]sqlir.Value, len(t.rows[i]))
+		copy(cp, t.rows[i])
+		return cp
+	}
+	return t.rows[i]
+}
 
 // Rows returns all rows (shared; callers must not mutate).
-func (t *Table) Rows() [][]sqlir.Value { return t.rows }
+func (t *Table) Rows() [][]sqlir.Value {
+	if debugRowCopies {
+		cp := make([][]sqlir.Value, len(t.rows))
+		for i, r := range t.rows {
+			rc := make([]sqlir.Value, len(r))
+			copy(rc, r)
+			cp[i] = rc
+		}
+		return cp
+	}
+	return t.rows
+}
+
+// CheckRowColumnConsistency verifies cell-for-cell agreement between the
+// row adapter and the columnar vectors — the invariant behind the dual
+// representation. Differential tests call it after mutation-heavy
+// workloads; a mismatch means some caller wrote through a shared row slice.
+func (t *Table) CheckRowColumnConsistency() error {
+	for ri, row := range t.rows {
+		for ci := range t.Columns {
+			rv := row[ci]
+			cv := t.vecs[ci].Value(ri)
+			if !rv.Equal(cv) {
+				return fmt.Errorf("storage: table %s row %d column %s: row adapter has %s, column vector has %s",
+					t.Name, ri, t.Columns[ci].Name, rv, cv)
+			}
+		}
+	}
+	return nil
+}
 
 // Insert appends a row after checking arity and types. NULLs are accepted in
 // any column.
@@ -113,8 +172,12 @@ func (t *Table) Insert(vals ...sqlir.Value) error {
 	row := make([]sqlir.Value, len(vals))
 	copy(row, vals)
 	t.rows = append(t.rows, row)
+	for i, v := range vals {
+		t.vecs[i].appendValue(v)
+	}
 	t.hashMu.Lock()
-	t.hash = nil // built indexes no longer cover the new row
+	t.hash = nil    // built indexes no longer cover the new row
+	t.codeIdx = nil // likewise the typed posting-list indexes
 	t.hashMu.Unlock()
 	t.gen.Add(1)
 	return nil
@@ -174,54 +237,92 @@ type ColumnStats struct {
 	NonNull  int
 }
 
-// Stats computes column statistics (linear scan; cached by Database).
+// Stats computes column statistics from the typed vectors (cached by
+// Database): a float scan for numeric columns, and for text columns the
+// distinct count is simply the dictionary size — every interned string was
+// inserted at least once and rows are never deleted.
 func (t *Table) Stats(col string) (ColumnStats, error) {
 	ci := t.ColumnIndex(col)
 	if ci < 0 {
 		return ColumnStats{}, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
 	}
+	vec := &t.vecs[ci]
 	var st ColumnStats
-	seen := map[sqlir.Value]bool{}
-	for _, row := range t.rows {
-		v := row[ci]
-		if v.IsNull() {
-			continue
-		}
-		if st.NonNull == 0 {
-			st.Min, st.Max = v, v
-		} else {
-			if v.Less(st.Min) {
-				st.Min = v
-			}
-			if st.Max.Less(v) {
-				st.Max = v
-			}
-		}
-		st.NonNull++
-		seen[v] = true
+	st.NonNull = vec.n - vec.nullCount
+	if st.NonNull == 0 {
+		return st, nil
 	}
-	st.Distinct = len(seen)
+	switch vec.typ {
+	case sqlir.TypeNumber:
+		seen := make(map[float64]struct{}, st.NonNull)
+		first := true
+		var lo, hi float64
+		for i := 0; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			f := vec.nums[i]
+			if first {
+				lo, hi, first = f, f, false
+			} else {
+				if f < lo {
+					lo = f
+				}
+				if f > hi {
+					hi = f
+				}
+			}
+			seen[f] = struct{}{}
+		}
+		st.Min, st.Max = sqlir.NewNumber(lo), sqlir.NewNumber(hi)
+		st.Distinct = len(seen)
+	case sqlir.TypeText:
+		strs := vec.dict.Strings()
+		lo, hi := strs[0], strs[0]
+		for _, s := range strs[1:] {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		st.Min, st.Max = sqlir.NewText(lo), sqlir.NewText(hi)
+		st.Distinct = vec.dict.Size()
+	}
 	return st, nil
 }
 
 // DistinctValues returns up to max distinct non-null values of the column in
-// sorted order (max <= 0 means all).
+// sorted order (max <= 0 means all). Text columns read the dictionary —
+// already deduplicated — instead of scanning rows.
 func (t *Table) DistinctValues(col string, max int) ([]sqlir.Value, error) {
 	ci := t.ColumnIndex(col)
 	if ci < 0 {
 		return nil, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
 	}
-	seen := map[sqlir.Value]bool{}
+	vec := &t.vecs[ci]
 	var out []sqlir.Value
-	for _, row := range t.rows {
-		v := row[ci]
-		if v.IsNull() || seen[v] {
-			continue
+	switch vec.typ {
+	case sqlir.TypeNumber:
+		seen := make(map[float64]struct{})
+		for i := 0; i < vec.n; i++ {
+			if !vec.IsNull(i) {
+				seen[vec.nums[i]] = struct{}{}
+			}
 		}
-		seen[v] = true
-		out = append(out, v)
+		for _, f := range sortFloats(seen) {
+			out = append(out, sqlir.NewNumber(f))
+		}
+	case sqlir.TypeText:
+		if vec.dict != nil {
+			strs := append([]string{}, vec.dict.Strings()...)
+			sort.Strings(strs)
+			for _, s := range strs {
+				out = append(out, sqlir.NewText(s))
+			}
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	if max > 0 && len(out) > max {
 		out = out[:max]
 	}

@@ -1,0 +1,206 @@
+// Fixed-size hashed memo keys. The column-wise and row-wise verification
+// memos used to key on strings built per probe (fmt.Sprintf for column
+// checks, a strings.Builder rendering of the whole exists query for row
+// checks) — one or more allocations on every memo lookup, hot enough to
+// show in the verification profile. Keys are now 128-bit FNV-1a digests
+// streamed field-by-field with injective tagging, so a lookup allocates
+// nothing. A debug mode (SetDebugMemoKeys) keeps the old canonical strings
+// alongside the hashes and cross-checks that no two distinct strings ever
+// collide on a key.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/tsq"
+)
+
+// memoKey is a fixed-size memo key: the FNV-1a 128 digest of an injective
+// serialization of the memoized question.
+type memoKey [16]byte
+
+// fnv128a is an inline FNV-1a 128-bit hasher (the stdlib hash/fnv digest
+// only accepts []byte, which would force a copy per string written). The
+// 128-bit width makes accidental collisions astronomically unlikely even
+// across the billions of probes of a long-lived service; the debug
+// cross-check below turns "unlikely" into "observed never".
+type fnv128a struct {
+	hi, lo uint64
+}
+
+// FNV-128 offset basis: 0x6c62272e07bb0142 62b821756295c58d.
+func newFnv128a() fnv128a {
+	return fnv128a{hi: 0x6c62272e07bb0142, lo: 0x62b821756295c58d}
+}
+
+// mul multiplies the 128-bit state by the FNV-128 prime 2^88 + 2^8 + 0x3b
+// (modulo 2^128).
+func (h *fnv128a) mul() {
+	rhi, rlo := bits.Mul64(h.lo, 0x13B)
+	rhi += h.lo << 24
+	rhi += h.hi * 0x13B
+	h.hi, h.lo = rhi, rlo
+}
+
+func (h *fnv128a) writeByte(b byte) {
+	h.lo ^= uint64(b)
+	h.mul()
+}
+
+func (h *fnv128a) writeString(s string) {
+	for i := 0; i < len(s); i++ {
+		h.writeByte(s[i])
+	}
+}
+
+func (h *fnv128a) writeUint64(u uint64) {
+	for i := 0; i < 8; i++ {
+		h.writeByte(byte(u >> (8 * i)))
+	}
+}
+
+// writeValue hashes a value with a kind tag; text is length-prefixed so
+// adjacent values cannot collide, numbers hash their bits (-0 normalized,
+// matching Value.Equal).
+func (h *fnv128a) writeValue(v sqlir.Value) {
+	switch v.Kind {
+	case sqlir.KindText:
+		h.writeByte('t')
+		h.writeUint64(uint64(len(v.Text)))
+		h.writeString(v.Text)
+	case sqlir.KindNumber:
+		f := v.Num
+		if f == 0 {
+			f = 0
+		}
+		h.writeByte('n')
+		h.writeUint64(math.Float64bits(f))
+	default:
+		h.writeByte('z')
+	}
+}
+
+// writeColumnRef hashes a column reference with length-prefixed parts.
+func (h *fnv128a) writeColumnRef(c sqlir.ColumnRef) {
+	h.writeUint64(uint64(len(c.Table)))
+	h.writeString(c.Table)
+	h.writeUint64(uint64(len(c.Column)))
+	h.writeString(c.Column)
+}
+
+func (h *fnv128a) sum() memoKey {
+	var k memoKey
+	for i := 0; i < 8; i++ {
+		k[i] = byte(h.hi >> (56 - 8*i))
+		k[8+i] = byte(h.lo >> (56 - 8*i))
+	}
+	return k
+}
+
+// existsKey hashes an exists query into a memo key, covering exactly the
+// fields existsSig renders: join path, connective, predicates, and-preds,
+// group-by columns, and having conditions — every field length-prefixed or
+// tagged so the serialization is injective.
+func existsKey(eq sqlexec.ExistsQuery) memoKey {
+	h := newFnv128a()
+	if eq.From != nil {
+		h.writeUint64(uint64(len(eq.From.Tables)))
+		for _, t := range eq.From.Tables {
+			h.writeUint64(uint64(len(t)))
+			h.writeString(t)
+		}
+		h.writeUint64(uint64(len(eq.From.Edges)))
+		for _, e := range eq.From.Edges {
+			h.writeColumnRef(sqlir.ColumnRef{Table: e.FromTable, Column: e.FromColumn})
+			h.writeColumnRef(sqlir.ColumnRef{Table: e.ToTable, Column: e.ToColumn})
+		}
+	}
+	h.writeByte('|')
+	h.writeByte(byte(eq.Conj))
+	h.writeUint64(uint64(len(eq.Preds)))
+	for _, p := range eq.Preds {
+		h.writeColumnRef(p.Col)
+		h.writeByte(byte(p.Op))
+		h.writeValue(p.Val)
+	}
+	h.writeUint64(uint64(len(eq.AndPreds)))
+	for _, p := range eq.AndPreds {
+		h.writeColumnRef(p.Col)
+		h.writeByte(byte(p.Op))
+		h.writeValue(p.Val)
+	}
+	h.writeUint64(uint64(len(eq.GroupBy)))
+	for _, g := range eq.GroupBy {
+		h.writeColumnRef(g)
+	}
+	h.writeUint64(uint64(len(eq.Havings)))
+	for _, hv := range eq.Havings {
+		h.writeByte(byte(hv.Agg))
+		if hv.Col.IsStar() {
+			h.writeByte('*')
+		} else {
+			h.writeByte('.')
+		}
+		h.writeColumnRef(hv.Col)
+		h.writeByte(byte(hv.Op))
+		h.writeValue(hv.Val)
+	}
+	return h.sum()
+}
+
+// columnCellKey hashes one column-wise check question: (is this the AVG
+// range check, column, cell).
+func columnCellKey(avg bool, col sqlir.ColumnRef, cell tsq.Cell) memoKey {
+	h := newFnv128a()
+	if avg {
+		h.writeByte(1)
+	} else {
+		h.writeByte(0)
+	}
+	h.writeColumnRef(col)
+	h.writeByte(byte(cell.Kind))
+	h.writeValue(cell.Val)
+	h.writeValue(cell.Lo)
+	h.writeValue(cell.Hi)
+	return h.sum()
+}
+
+// debugMemoKeys enables the collision cross-check: every memo lookup also
+// computes the pre-refactor canonical string and the memo verifies that a
+// given key always maps to the same string. Test builds turn this on; a
+// detected collision panics with both canonical strings. An atomic flag,
+// not a mutex — the check sits on every hot-path memo lookup.
+var debugMemoKeys atomic.Bool
+
+// SetDebugMemoKeys toggles the memo-key collision cross-check and returns
+// the previous setting.
+func SetDebugMemoKeys(on bool) bool {
+	return debugMemoKeys.Swap(on)
+}
+
+func memoKeyDebugEnabled() bool {
+	return debugMemoKeys.Load()
+}
+
+// checkKeyCollision records key→canonical-string and panics if the same
+// key ever arrives with a different canonical string (a hash collision
+// that would silently serve one question the other's answer).
+func (bm *boolMemo) checkKeyCollision(key memoKey, sig string) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if bm.sigs == nil {
+		bm.sigs = map[memoKey]string{}
+	}
+	if prev, ok := bm.sigs[key]; ok {
+		if prev != sig {
+			panic(fmt.Sprintf("verify: memo key collision: %q and %q hash to %x", prev, sig, key))
+		}
+		return
+	}
+	bm.sigs[key] = sig
+}

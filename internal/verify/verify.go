@@ -98,13 +98,15 @@ type Verifier struct {
 	stats   Stats
 }
 
-// boolMemo memoizes a keyed boolean computation. Concurrent first lookups of
-// a key share one computation: the loser of the map race blocks on the
-// winner's sync.Once instead of re-running the (possibly expensive
+// boolMemo memoizes a keyed boolean computation under fixed-size hashed
+// keys (see keys.go — no per-lookup string building). Concurrent first
+// lookups of a key share one computation: the loser of the map race blocks
+// on the winner's sync.Once instead of re-running the (possibly expensive
 // database) check.
 type boolMemo struct {
-	mu sync.Mutex
-	m  map[string]*boolEntry
+	mu   sync.Mutex
+	m    map[memoKey]*boolEntry
+	sigs map[memoKey]string // debug mode: canonical string per key
 }
 
 type boolEntry struct {
@@ -114,11 +116,16 @@ type boolEntry struct {
 }
 
 // do returns the memoized value for key, computing it at most once across
-// all callers. hit reports whether the entry already existed.
-func (bm *boolMemo) do(key string, f func() (bool, error)) (val, hit bool, err error) {
+// all callers. hit reports whether the entry already existed. sig renders
+// the pre-hash canonical string; it is only invoked when the debug
+// collision cross-check is on.
+func (bm *boolMemo) do(key memoKey, sig func() string, f func() (bool, error)) (val, hit bool, err error) {
+	if memoKeyDebugEnabled() {
+		bm.checkKeyCollision(key, sig())
+	}
 	bm.mu.Lock()
 	if bm.m == nil {
-		bm.m = map[string]*boolEntry{}
+		bm.m = map[memoKey]*boolEntry{}
 	}
 	e, ok := bm.m[key]
 	if !ok {
@@ -393,10 +400,13 @@ func (v *Verifier) verifyByColumn(q *sqlir.Query) (Outcome, error) {
 	return pass(), nil
 }
 
-// columnCellCheck answers "does any value of col satisfy cell", memoized.
+// columnCellCheck answers "does any value of col satisfy cell", memoized
+// under a hashed fixed-size key (the debug closure renders the
+// pre-refactor string key for the collision cross-check).
 func (v *Verifier) columnCellCheck(agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) (bool, error) {
-	key := fmt.Sprintf("%v|%s|%s", agg == sqlir.AggAvg, col, cell)
-	ok, hit, err := v.colCache.do(key, func() (bool, error) {
+	key := columnCellKey(agg == sqlir.AggAvg, col, cell)
+	sig := func() string { return fmt.Sprintf("%v|%s|%s", agg == sqlir.AggAvg, col, cell) }
+	ok, hit, err := v.colCache.do(key, sig, func() (bool, error) {
 		if agg == sqlir.AggAvg {
 			// The average lies within [min, max]: verification fails only
 			// if the cell cannot intersect that range.
@@ -567,9 +577,9 @@ func (v *Verifier) verifyByRow(q *sqlir.Query) (Outcome, error) {
 			continue
 		}
 		// Sibling states (e.g. differing only in ORDER BY decisions) issue
-		// identical row checks; memoize by query signature.
-		sig := existsSig(eq)
-		ok, _, err := v.rowCache.do(sig, func() (bool, error) {
+		// identical row checks; memoize by hashed query signature.
+		key := existsKey(eq)
+		ok, _, err := v.rowCache.do(key, func() string { return existsSig(eq) }, func() (bool, error) {
 			v.countDBQuery()
 			return v.joins.Exists(eq)
 		})
@@ -635,7 +645,10 @@ func cellHavings(agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) []sqlir.
 	}
 }
 
-// existsSig renders an exists query as a memo key.
+// existsSig renders an exists query as the pre-refactor canonical string
+// key. The live memo keys are the fixed-size hashes of keys.go; this
+// rendering is kept for the debug collision cross-check (SetDebugMemoKeys),
+// which verifies old and new keys agree on equality.
 func existsSig(eq sqlexec.ExistsQuery) string {
 	var b strings.Builder
 	if eq.From != nil {
