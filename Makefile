@@ -1,7 +1,7 @@
 # Developer entry points. CI runs the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test vet race bench bench-sqlexec bench-server bench-storage
+.PHONY: build test vet race fmt-check bench bench-sqlexec bench-server bench-storage bench-loadgen
 
 build:
 	go build ./...
@@ -15,15 +15,21 @@ vet:
 race:
 	go test -race -short ./...
 
+# fmt-check fails (listing the offenders) when any file is not gofmt-clean;
+# CI runs it so formatting drift cannot land.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # bench runs every recorded benchmark once (equivalence self-checks run
 # regardless of -benchtime) and records machine-readable results into
 # BENCH_*.json so the perf trajectory is tracked in-repo and the benchmarks
 # cannot bit-rot. All targets pass -benchmem so allocation wins are
 # recorded alongside ns/op (benchjson promotes B/op and allocs/op).
-bench: bench-sqlexec bench-storage bench-server
+bench: bench-sqlexec bench-storage bench-server bench-loadgen
 
 bench-sqlexec:
-	@go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkExists' -benchtime 1x -benchmem > bench.out; \
+	@go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkExists' -benchtime 5x -benchmem > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_sqlexec.json < bench.out; \
@@ -39,6 +45,21 @@ bench-storage:
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_storage.json < bench.out; \
+	status=$$?; rm -f bench.out; exit $$status
+
+# bench-loadgen records the synthetic-workload family: the paired
+# bulk-vs-row ingestion benchmarks (with the byte-identical equivalence
+# self-check), the data-scale verification sweep (rows vs ns/op over
+# generated databases), and the closed-loop service load harness
+# (cmd/duoquest-loadtest), whose bench-format stdout is appended to the
+# same artifact. The harness runs with pinned concurrency (-c 4) so the
+# recorded closed-loop latency does not track the recording machine's
+# core count, keeping the CI regression gate comparable across hosts.
+bench-loadgen:
+	@{ go test ./internal/loadgen ./internal/sqlexec -run '^$$' -bench 'BenchmarkLoadgen' -benchtime 3x -benchmem && go run ./cmd/duoquest-loadtest -scale small -c 4; } > bench.out; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
+	go run ./cmd/benchjson -out BENCH_loadgen.json < bench.out; \
 	status=$$?; rm -f bench.out; exit $$status
 
 # bench-server measures concurrent mixed-database serving through the HTTP

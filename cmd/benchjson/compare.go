@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Regression is one benchmark whose ns/op moved past the tolerance.
+type Regression struct {
+	Name   string
+	BaseNs float64
+	NewNs  float64
+	Ratio  float64 // NewNs / BaseNs
+}
+
+// Comparison is the diff of two recorded reports.
+type Comparison struct {
+	Regressions []Regression // ns/op above base * (1 + tolerance)
+	Improved    []Regression // ns/op below base / (1 + tolerance); Ratio < 1
+	Unchanged   int          // benchmarks within tolerance either way
+	Missing     []string     // in base but absent from new (reported, not fatal:
+	// partial runs — e.g. CI's scaled-down loadgen scenario — compare only
+	// what they measured)
+	Added []string // in new but absent from base
+}
+
+// Compare diffs new against base benchmark by benchmark (matched by name).
+// A benchmark regresses when its fresh ns/op exceeds the recorded ns/op by
+// more than tolerance (0.30 = fail beyond +30%). Benchmarks with a zero or
+// missing base ns/op are skipped — there is nothing to ratio against.
+func Compare(base, fresh *Report, tolerance float64) Comparison {
+	var cmp Comparison
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range fresh.Benchmarks {
+		seen[nb.Name] = true
+		bb, ok := baseBy[nb.Name]
+		if !ok {
+			cmp.Added = append(cmp.Added, nb.Name)
+			continue
+		}
+		if bb.NsPerOp <= 0 {
+			continue
+		}
+		entry := Regression{Name: nb.Name, BaseNs: bb.NsPerOp, NewNs: nb.NsPerOp, Ratio: nb.NsPerOp / bb.NsPerOp}
+		switch {
+		case nb.NsPerOp > bb.NsPerOp*(1+tolerance):
+			cmp.Regressions = append(cmp.Regressions, entry)
+		case nb.NsPerOp < bb.NsPerOp/(1+tolerance):
+			cmp.Improved = append(cmp.Improved, entry)
+		default:
+			cmp.Unchanged++
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			cmp.Missing = append(cmp.Missing, b.Name)
+		}
+	}
+	sort.Slice(cmp.Regressions, func(i, j int) bool { return cmp.Regressions[i].Ratio > cmp.Regressions[j].Ratio })
+	sort.Strings(cmp.Missing)
+	sort.Strings(cmp.Added)
+	return cmp
+}
+
+// runCompare implements `benchjson compare`; it returns the process exit
+// code: 0 when no benchmark regressed past the tolerance, 1 otherwise.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("benchjson compare", flag.ExitOnError)
+	basePath := fs.String("base", "", "recorded baseline JSON (required)")
+	newPath := fs.String("new", "", "freshly recorded JSON (required)")
+	tolerance := fs.Float64("tolerance", 0.30, "allowed ns/op growth before failing (0.30 = +30%)")
+	fs.Parse(args)
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson compare: -base and -new are required")
+		return 2
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson compare: %v\n", err)
+		return 2
+	}
+	fresh, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson compare: %v\n", err)
+		return 2
+	}
+
+	cmp := Compare(base, fresh, *tolerance)
+	for _, r := range cmp.Improved {
+		fmt.Printf("improved:  %-50s %12.0f -> %12.0f ns/op (%.2fx)\n", r.Name, r.BaseNs, r.NewNs, r.Ratio)
+	}
+	for _, name := range cmp.Added {
+		fmt.Printf("added:     %s (no baseline)\n", name)
+	}
+	for _, name := range cmp.Missing {
+		fmt.Printf("missing:   %s (in baseline, not measured this run)\n", name)
+	}
+	for _, r := range cmp.Regressions {
+		fmt.Printf("REGRESSED: %-50s %12.0f -> %12.0f ns/op (%.2fx > %.2fx allowed)\n",
+			r.Name, r.BaseNs, r.NewNs, r.Ratio, 1+*tolerance)
+	}
+	fmt.Printf("benchjson compare: %d regressed, %d improved, %d unchanged, %d added, %d missing (tolerance +%.0f%%)\n",
+		len(cmp.Regressions), len(cmp.Improved), cmp.Unchanged, len(cmp.Added), len(cmp.Missing), *tolerance*100)
+	if len(cmp.Regressions) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}

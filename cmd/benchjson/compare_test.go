@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(benches ...Benchmark) *Report {
+	return &Report{Benchmarks: benches, Pass: true}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Runs: 10, NsPerOp: ns}
+}
+
+// TestCompareTolerance pins the gate's arithmetic: the boundary is strict
+// (exactly base*(1+tol) still passes), improvements and additions never
+// fail, zero baselines are skipped, and disappeared benchmarks are reported
+// without failing (partial CI runs compare only what they measured).
+func TestCompareTolerance(t *testing.T) {
+	base := report(
+		bench("BenchmarkA", 100),
+		bench("BenchmarkB", 100),
+		bench("BenchmarkC", 100),
+		bench("BenchmarkZero", 0),
+		bench("BenchmarkGone", 50),
+	)
+	fresh := report(
+		bench("BenchmarkA", 130),   // exactly +30%: allowed
+		bench("BenchmarkB", 131),   // past +30%: regression
+		bench("BenchmarkC", 60),    // improvement
+		bench("BenchmarkZero", 99), // no usable baseline
+		bench("BenchmarkNew", 1e9), // no baseline: never a regression
+	)
+	cmp := Compare(base, fresh, 0.30)
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkB", cmp.Regressions)
+	}
+	if got := cmp.Regressions[0].Ratio; got < 1.30 || got > 1.32 {
+		t.Fatalf("ratio = %v, want ~1.31", got)
+	}
+	if len(cmp.Improved) != 1 || cmp.Improved[0].Name != "BenchmarkC" {
+		t.Fatalf("improved = %+v, want exactly BenchmarkC", cmp.Improved)
+	}
+	if cmp.Unchanged != 1 { // BenchmarkA
+		t.Fatalf("unchanged = %d, want 1", cmp.Unchanged)
+	}
+	if len(cmp.Added) != 1 || cmp.Added[0] != "BenchmarkNew" {
+		t.Fatalf("added = %v", cmp.Added)
+	}
+	if len(cmp.Missing) != 1 || cmp.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", cmp.Missing)
+	}
+}
+
+// TestCompareToleranceScales: the flag value changes the boundary.
+func TestCompareToleranceScales(t *testing.T) {
+	base := report(bench("BenchmarkA", 1000))
+	fresh := report(bench("BenchmarkA", 1400))
+	if cmp := Compare(base, fresh, 0.50); len(cmp.Regressions) != 0 {
+		t.Fatalf("+40%% flagged under 50%% tolerance: %+v", cmp.Regressions)
+	}
+	if cmp := Compare(base, fresh, 0.30); len(cmp.Regressions) != 1 {
+		t.Fatal("+40% not flagged under 30% tolerance")
+	}
+}
+
+// TestCompareGateFailsOnInjectedRegression drives the real CLI entry point
+// end to end: record a baseline file, inject a 2x ns/op regression into a
+// fresh copy, and require the gate to exit non-zero — the behavior CI
+// depends on.
+func TestCompareGateFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := report(
+		bench("BenchmarkColumnarExists", 250_000),
+		bench("BenchmarkLoadgenIngestBulk", 4_000_000),
+	)
+	write := func(name string, rep *Report) string {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", baseline)
+
+	// Identical rerun: gate passes.
+	if code := runCompare([]string{"-base", basePath, "-new", write("same.json", baseline)}); code != 0 {
+		t.Fatalf("identical run exited %d, want 0", code)
+	}
+
+	// Injected regression: one benchmark slows down 2x.
+	injected := report(
+		bench("BenchmarkColumnarExists", 500_000),
+		bench("BenchmarkLoadgenIngestBulk", 4_000_000),
+	)
+	if code := runCompare([]string{"-base", basePath, "-new", write("slow.json", injected)}); code != 1 {
+		t.Fatalf("injected 2x regression exited %d, want 1", code)
+	}
+
+	// Unreadable input is an operator error, not a pass.
+	if code := runCompare([]string{"-base", basePath, "-new", filepath.Join(dir, "absent.json")}); code != 2 {
+		t.Fatal("missing input did not exit 2")
+	}
+	if code := runCompare([]string{"-base", basePath}); code != 2 {
+		t.Fatal("missing -new did not exit 2")
+	}
+}

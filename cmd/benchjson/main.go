@@ -1,8 +1,13 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON file, so benchmark runs leave a comparable artifact
-// (the perf trajectory in BENCH_sqlexec.json) instead of scrollback. The
-// input is echoed through to stdout so the human-readable table stays
-// visible in CI logs.
+// (the perf trajectory in BENCH_*.json) instead of scrollback. The input is
+// echoed through to stdout so the human-readable table stays visible in CI
+// logs.
+//
+// The compare subcommand (`benchjson compare -base old.json -new new.json`)
+// is the CI bench-regression gate: it diffs two recorded artifacts and
+// exits non-zero when any benchmark's ns/op regressed beyond the tolerance,
+// so performance can no longer rot silently between PRs.
 package main
 
 import (
@@ -15,6 +20,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
+	record()
+}
+
+func record() {
 	out := flag.String("out", "", "path of the JSON file to write (required)")
 	flag.Parse()
 	if *out == "" {

@@ -44,7 +44,15 @@ func Parse(lines []string) *Report {
 		case strings.HasPrefix(line, "goarch: "):
 			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			// Concatenated multi-package runs (make bench-loadgen) emit one
+			// pkg: line per package; record them all, not just the last.
+			p := strings.TrimPrefix(line, "pkg: ")
+			switch {
+			case rep.Pkg == "":
+				rep.Pkg = p
+			case !slicesContain(strings.Split(rep.Pkg, ", "), p):
+				rep.Pkg += ", " + p
+			}
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
 		case line == "PASS":
@@ -56,6 +64,15 @@ func Parse(lines []string) *Report {
 		}
 	}
 	return rep
+}
+
+func slicesContain(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 // parseBenchLine parses `BenchmarkName-8  123  456.7 ns/op  89 B/op ...`.

@@ -1,0 +1,299 @@
+// Command duoquest-loadtest is the closed-loop load harness: it generates a
+// synthetic database (internal/loadgen), registers it in the service-layer
+// Engine, synthesizes NLQ+TSQ tasks exactly as the simulation study does,
+// and drives concurrent Engine sessions at a fixed closed-loop concurrency,
+// recording throughput and latency percentiles. It then sweeps generated
+// databases of growing row counts through the shared-cache verification
+// surface (Session.Exists) to record how verification cost scales with data
+// size.
+//
+// Results are written to stdout as `go test -bench`-format lines so `make
+// bench-loadgen` can pipe them (together with the ingest and sweep
+// micro-benchmarks) through cmd/benchjson into BENCH_loadgen.json; the
+// human-readable narrative goes to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/dataset"
+	"github.com/duoquest/duoquest/internal/loadgen"
+	"github.com/duoquest/duoquest/internal/service"
+)
+
+// config is the parsed command line.
+type config struct {
+	scale      string
+	rows       int
+	tables     int
+	seed       int64
+	workers    int
+	requests   int
+	tasks      int
+	maxStates  int
+	maxCand    int
+	sweep      string
+	sweepProbe int
+	short      bool
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "duoquest-loadtest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("duoquest-loadtest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := config{}
+	fs.StringVar(&cfg.scale, "scale", "small", "scale preset: small (10k rows), medium (100k), large (1M)")
+	fs.IntVar(&cfg.rows, "rows", 0, "override the preset's total row count")
+	fs.IntVar(&cfg.tables, "tables", 0, "override the preset's table count (clamped to 3..8)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generation and task-synthesis seed")
+	fs.IntVar(&cfg.workers, "c", runtime.GOMAXPROCS(0), "closed-loop concurrency (parallel sessions)")
+	fs.IntVar(&cfg.requests, "requests", 96, "total synthesis requests across all sessions")
+	fs.IntVar(&cfg.tasks, "tasks", 16, "distinct NLQ+TSQ tasks to synthesize and cycle through")
+	fs.IntVar(&cfg.maxStates, "maxstates", 3000, "per-request search state cap")
+	fs.IntVar(&cfg.maxCand, "maxcand", 3, "per-request candidate cap")
+	fs.StringVar(&cfg.sweep, "sweep", "10000,30000,100000", "comma-separated row counts for the verification scale sweep (empty disables)")
+	fs.IntVar(&cfg.sweepProbe, "sweep-probes", 100, "verification probes per sweep scale")
+	fs.BoolVar(&cfg.short, "short", false, "CI mode: shrink requests and sweep so the run finishes in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.workers < 1 || cfg.requests < 1 || cfg.tasks < 1 {
+		return fmt.Errorf("-c, -requests, and -tasks must all be >= 1 (got %d, %d, %d)",
+			cfg.workers, cfg.requests, cfg.tasks)
+	}
+	// Parse the sweep list up front so a malformed -sweep fails before the
+	// generation and load phases spend their time.
+	sweepScales, err := parseSweep(cfg.sweep)
+	if err != nil {
+		return err
+	}
+	if cfg.short {
+		if cfg.requests > 24 {
+			cfg.requests = 24
+		}
+		if cfg.sweep == "10000,30000,100000" {
+			sweepScales = []int{10_000, 30_000}
+		}
+		if cfg.sweepProbe > 40 {
+			cfg.sweepProbe = 40
+		}
+	}
+
+	spec, ok := loadgen.Preset(cfg.scale)
+	if !ok {
+		return fmt.Errorf("unknown -scale %q (want small, medium, or large)", cfg.scale)
+	}
+	if cfg.rows > 0 {
+		spec.Rows = cfg.rows
+	}
+	if cfg.tables > 0 {
+		spec.Tables = cfg.tables
+	}
+
+	start := time.Now()
+	g, err := loadgen.Generate(spec, cfg.seed)
+	if err != nil {
+		return err
+	}
+	genElapsed := time.Since(start)
+	fmt.Fprintf(stderr, "generated %s: %d tables, %d rows in %v (fingerprint %016x)\n",
+		g.DB.Name, len(g.DB.Schema.Tables), g.DB.TotalRows(), genElapsed.Round(time.Millisecond), loadgen.Fingerprint(g.DB))
+
+	eng := service.NewEngine(service.Options{
+		MaxStates:     cfg.maxStates,
+		MaxCandidates: cfg.maxCand,
+		Workers:       1, // sessions are the unit of parallelism here
+		MaxInFlight:   cfg.workers,
+	})
+	if err := eng.Register(g.DB); err != nil {
+		return err
+	}
+
+	if err := driveSessions(cfg, g, eng, stdout, stderr); err != nil {
+		return err
+	}
+	return driveSweep(cfg, sweepScales, eng, stdout, stderr)
+}
+
+// driveSessions runs the closed-loop synthesis phase.
+func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout, stderr io.Writer) error {
+	tasks, err := g.Tasks(cfg.tasks, cfg.seed)
+	if err != nil {
+		return err
+	}
+	inputs := make([]service.Input, 0, len(tasks))
+	for i, task := range tasks {
+		sk, err := dataset.SynthesizeTSQ(task, dataset.DetailFull, cfg.seed+int64(i))
+		if err != nil {
+			return fmt.Errorf("task %s: %w", task.ID, err)
+		}
+		inputs = append(inputs, service.Input{NLQ: task.NLQ, Literals: task.Literals, Sketch: sk})
+	}
+	fmt.Fprintf(stderr, "synthesized %d NLQ+TSQ tasks; driving %d requests over %d sessions\n",
+		len(inputs), cfg.requests, cfg.workers)
+
+	var (
+		next      atomic.Int64
+		errCount  atomic.Int64
+		cands     atomic.Int64
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	ctx := context.Background()
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := eng.Session(g.DB.Name)
+			if err != nil {
+				errCount.Add(1)
+				return
+			}
+			local := make([]time.Duration, 0, cfg.requests/cfg.workers+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.requests) {
+					break
+				}
+				t0 := time.Now()
+				res, err := sess.Synthesize(ctx, inputs[i%int64(len(inputs))])
+				local = append(local, time.Since(t0))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				cands.Add(int64(len(res.Candidates)))
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if int(errCount.Load()) == cfg.requests {
+		return fmt.Errorf("all %d requests failed", cfg.requests)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := quantile(latencies, 0.50)
+	p95 := quantile(latencies, 0.95)
+	p99 := quantile(latencies, 0.99)
+	reqPerSec := float64(cfg.requests) / elapsed.Seconds()
+	fmt.Fprintf(stderr, "%d requests in %v: %.1f req/s, p50 %v, p95 %v, p99 %v, %d candidates, %d errors\n",
+		cfg.requests, elapsed.Round(time.Millisecond), reqPerSec,
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond),
+		cands.Load(), errCount.Load())
+
+	// Machine-readable: ns/op is mean latency per request; throughput and
+	// quantiles ride along as custom metrics.
+	fmt.Fprintf(stdout, "BenchmarkLoadtestSynthesize/scale=%s \t %d \t %d ns/op \t %.2f req/s \t %.3f p50-ms \t %.3f p95-ms \t %.3f p99-ms\n",
+		cfg.scale, cfg.requests, meanNs(latencies), reqPerSec,
+		float64(p50)/1e6, float64(p95)/1e6, float64(p99)/1e6)
+	return nil
+}
+
+// driveSweep measures verification ns/op at each swept row count through
+// the service layer's shared-cache probe surface.
+func driveSweep(cfg config, scales []int, eng *service.Engine, stdout, stderr io.Writer) error {
+	for _, rows := range scales {
+		spec, _ := loadgen.Preset("medium")
+		spec.Name = "sweep"
+		spec.Rows = rows
+		g, err := loadgen.Generate(spec, cfg.seed)
+		if err != nil {
+			return err
+		}
+		if err := eng.Register(g.DB); err != nil {
+			return err
+		}
+		sess, err := eng.Session(g.DB.Name)
+		if err != nil {
+			return err
+		}
+		probes := g.Probes(cfg.sweepProbe, cfg.seed+1)
+		// Repeat passes until the measurement is long enough to be stable;
+		// the first pass warms the lazily built storage indexes, exactly
+		// like production verification traffic does.
+		var (
+			total time.Duration
+			n     int
+		)
+		for pass := 0; pass < 50 && (pass < 3 || total < 300*time.Millisecond); pass++ {
+			t0 := time.Now()
+			for pi, eq := range probes {
+				if _, err := sess.Exists(eq); err != nil {
+					return fmt.Errorf("sweep rows=%d probe %d: %w", rows, pi, err)
+				}
+			}
+			total += time.Since(t0)
+			n += len(probes)
+		}
+		nsPerOp := total.Nanoseconds() / int64(n)
+		fmt.Fprintf(stderr, "sweep rows=%d: %d probes, %d ns/op\n", rows, n, nsPerOp)
+		fmt.Fprintf(stdout, "BenchmarkLoadtestVerifySweep/rows=%d \t %d \t %d ns/op\n", rows, n, nsPerOp)
+	}
+	return nil
+}
+
+// parseSweep parses the -sweep flag.
+func parseSweep(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sweep entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// quantile returns the nearest-rank quantile of an ascending slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// meanNs returns the mean latency in nanoseconds.
+func meanNs(lat []time.Duration) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return sum.Nanoseconds() / int64(len(lat))
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunShort drives the whole harness at a tiny scale and checks the
+// machine-readable output: one synthesize line with throughput/quantile
+// metrics and one sweep line per swept scale, all in `go test -bench`
+// format so cmd/benchjson can parse them.
+func TestRunShort(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scale", "small", "-rows", "2000", "-seed", "3", "-c", "2",
+		"-requests", "6", "-tasks", "4", "-maxstates", "800",
+		"-sweep", "1500,2500", "-sweep-probes", "20",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d output lines, want 3:\n%s", len(lines), stdout.String())
+	}
+	if !strings.HasPrefix(lines[0], "BenchmarkLoadtestSynthesize/scale=small") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	for _, want := range []string{"ns/op", "req/s", "p50-ms", "p95-ms", "p99-ms"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("synthesize line lacks %q: %q", want, lines[0])
+		}
+	}
+	for i, rows := range []string{"1500", "2500"} {
+		line := lines[1+i]
+		if !strings.HasPrefix(line, "BenchmarkLoadtestVerifySweep/rows="+rows) {
+			t.Fatalf("sweep line %d = %q", i, line)
+		}
+		if !strings.Contains(line, "ns/op") {
+			t.Fatalf("sweep line lacks ns/op: %q", line)
+		}
+	}
+
+	// Every line must be parseable the way benchjson parses it: name, run
+	// count, then value/unit pairs with a numeric value.
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			t.Fatalf("line too short: %q", line)
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			t.Fatalf("run count %q not an int in %q", fields[1], line)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if _, err := strconv.ParseFloat(fields[i], 64); err != nil {
+				t.Fatalf("metric value %q not a float in %q", fields[i], line)
+			}
+		}
+	}
+}
+
+// TestRunRejectsBadFlags: unknown scales and malformed sweeps fail cleanly.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	// A malformed sweep fails up front, before any generation or load work.
+	args := []string{"-scale", "small", "-rows", "1000", "-requests", "2",
+		"-tasks", "2", "-maxstates", "200", "-sweep", "10,zap"}
+	if err := run(args, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "bad -sweep entry") {
+		t.Fatalf("err = %v, want bad -sweep entry", err)
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("bad -sweep only failed after work started:\n%s", stderr.String())
+	}
+	// Zero concurrency would silently run zero requests and record a fake
+	// 0 ns/op line; it must be rejected instead.
+	if err := run([]string{"-scale", "small", "-c", "0"}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), ">= 1") {
+		t.Fatalf("err = %v, want -c validation", err)
+	}
+}

@@ -60,6 +60,26 @@ func (t *Task) GoldResult() (*sqlexec.Result, error) {
 	return sqlexec.Execute(t.DB, t.Gold)
 }
 
+// NewTask parses sql against the database schema and builds a task with its
+// difficulty classified from the gold query. Task generators (the MAS task
+// table, loadgen's synthetic workloads) all funnel through here so gold
+// queries are always parsed and classified the same way.
+func NewTask(id string, db *storage.Database, nlq, sql string, lits []sqlir.Value) (*Task, error) {
+	gold, err := sqlparse.Parse(db.Schema, sql)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: task %s: %w", id, err)
+	}
+	return &Task{
+		ID:         id,
+		DB:         db,
+		NLQ:        nlq,
+		SQL:        sql,
+		Gold:       gold,
+		Literals:   lits,
+		Difficulty: ClassifyDifficulty(gold),
+	}, nil
+}
+
 // masTaskDef defines one Appendix A task.
 type masTaskDef struct {
 	id   string
@@ -125,19 +145,11 @@ func MASTasks() ([]*Task, *storage.Database) {
 	db := MAS()
 	var out []*Task
 	for _, def := range masTaskDefs {
-		gold, err := sqlparse.Parse(db.Schema, def.sql)
+		task, err := NewTask(def.id, db, def.desc, def.sql, def.lits)
 		if err != nil {
-			panic(fmt.Sprintf("dataset: task %s: %v", def.id, err))
+			panic(err)
 		}
-		out = append(out, &Task{
-			ID:         def.id,
-			DB:         db,
-			NLQ:        def.desc,
-			SQL:        def.sql,
-			Gold:       gold,
-			Literals:   def.lits,
-			Difficulty: ClassifyDifficulty(gold),
-		})
+		out = append(out, task)
 	}
 	return out, db
 }

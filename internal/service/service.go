@@ -309,6 +309,18 @@ func (s *Session) AutocompleteSize() int {
 	return idx.Size()
 }
 
+// Exists answers one raw existence probe — the building block of cascading
+// verification — through the database's shared join cache (or a fresh
+// executor under PerRequestCaches). The load harness's data-scale sweep
+// drives this surface so its measurements exercise exactly the shared-cache
+// path production verification uses.
+func (s *Session) Exists(eq sqlexec.ExistsQuery) (bool, error) {
+	if s.eng.opts.PerRequestCaches {
+		return sqlexec.Exists(s.ds.db, eq)
+	}
+	return s.ds.cache.Joins().Exists(eq)
+}
+
 // Preview executes a candidate query with a row cap, powering the
 // front-end's "Query Preview" button (§4). The join runs through the shared
 // join cache, and truncation copies the row slice so callers can never

@@ -1,0 +1,89 @@
+package sqlexec_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/loadgen"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// BenchmarkLoadgenVerifySweep is the data-scale sweep: the same
+// verification-shaped probe workload (loadgen.Probes — selective equality +
+// range over an FK edge, exact-name by-row probes, grouped HAVING) against
+// generated databases of growing row counts, so the recorded artifact
+// (`make bench-loadgen` → BENCH_loadgen.json) tracks how verification cost
+// scales with data size, not just how fast it is on the small demo sets. At
+// the smallest scale every probe is first checked against the streaming
+// pipeline (all probes must compile — no silent fallback in the sweep) and
+// the materializing reference.
+
+// sweepRows are the swept scales. 1M-row sweeps run locally via
+// cmd/duoquest-loadtest -scale large; keeping the recorded sweep at ≤300k
+// bounds `make bench-loadgen` to a few seconds.
+var sweepRows = []int{10_000, 30_000, 100_000, 300_000}
+
+var (
+	sweepMu  sync.Mutex
+	sweepDBs = map[int]*loadgen.Generated{}
+)
+
+func sweepDB(b *testing.B, rows int) *loadgen.Generated {
+	b.Helper()
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	if g, ok := sweepDBs[rows]; ok {
+		return g
+	}
+	g, err := loadgen.Generate(loadgen.Spec{Name: "sweep", Tables: 6, Rows: rows}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweepDBs[rows] = g
+	return g
+}
+
+func BenchmarkLoadgenVerifySweep(b *testing.B) {
+	for _, rows := range sweepRows {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			g := sweepDB(b, rows)
+			probes := g.Probes(100, 2)
+			if rows == sweepRows[0] {
+				checkSweepEquivalence(b, g.DB, probes)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for pi, eq := range probes {
+					if _, err := sqlexec.Exists(g.DB, eq); err != nil {
+						b.Fatalf("probe %d: %v", pi, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkSweepEquivalence asserts every sweep probe compiles to the streaming
+// pipeline and agrees with the materializing reference.
+func checkSweepEquivalence(b *testing.B, db *storage.Database, probes []sqlexec.ExistsQuery) {
+	b.Helper()
+	for i, eq := range probes {
+		got, handled, err := sqlexec.ExistsStreaming(db, eq)
+		if err != nil {
+			b.Fatalf("probe %d: %v", i, err)
+		}
+		if !handled {
+			b.Fatalf("probe %d: not handled by the streaming pipeline — the sweep must not silently fall back", i)
+		}
+		ref, err := sqlexec.ExistsReference(db, eq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != ref {
+			b.Fatalf("probe %d: streaming=%v reference=%v", i, got, ref)
+		}
+	}
+}

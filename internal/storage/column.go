@@ -23,15 +23,41 @@ import (
 type Dict struct {
 	strs  []string
 	codes map[string]uint32
+	// mapOnce gates the lazy build of codes: a bulk dictionary adoption
+	// (appendBulk) leaves the map nil so loading never pays for hashing,
+	// and the first intern or Lookup builds it from strs exactly once.
+	// Concurrent Lookups are safe — Once serializes the build; intern runs
+	// only in exclusive (mutation) contexts and keeps the map current
+	// afterwards.
+	mapOnce sync.Once
+}
+
+// ensureMap builds the string→code map from strs on first need. The build
+// pass doubles as the duplicate check for bulk-adopted dictionaries
+// (BulkAppend documents the distinctness precondition; adoption itself is
+// hash-free and cannot dedupe): a collision here means code-keyed equality
+// would silently miss rows, so it is a programming bug worth a panic.
+func (d *Dict) ensureMap() {
+	d.mapOnce.Do(func() {
+		if d.codes != nil {
+			return
+		}
+		m := make(map[string]uint32, len(d.strs))
+		for i, s := range d.strs {
+			if _, dup := m[s]; dup {
+				panic(fmt.Sprintf("storage: dictionary holds duplicate entry %q — bulk-adopted dictionaries must contain distinct strings", s))
+			}
+			m[s] = uint32(i)
+		}
+		d.codes = m
+	})
 }
 
 // intern returns the code for s, assigning the next code on first sight.
 func (d *Dict) intern(s string) uint32 {
+	d.ensureMap()
 	if c, ok := d.codes[s]; ok {
 		return c
-	}
-	if d.codes == nil {
-		d.codes = map[string]uint32{}
 	}
 	c := uint32(len(d.strs))
 	d.strs = append(d.strs, s)
@@ -42,6 +68,7 @@ func (d *Dict) intern(s string) uint32 {
 // Lookup returns the code for s, reporting whether s is interned. A miss
 // means no row of the column holds s.
 func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.ensureMap()
 	c, ok := d.codes[s]
 	return c, ok
 }

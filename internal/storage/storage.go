@@ -43,7 +43,16 @@ type Table struct {
 	Columns    []Column
 	PrimaryKey string
 
-	rows   [][]sqlir.Value
+	// rows is the historical row adapter, kept for the materializing
+	// reference executor. The typed vectors are authoritative; after a
+	// BulkAppend the adapter lags behind and is re-materialized lazily on
+	// first row access (syncRows), so bulk ingestion never pays for rows it
+	// may never serve. rowsReady is true while the adapter covers every
+	// vector row.
+	rows      [][]sqlir.Value
+	rowsReady atomic.Bool
+	rowsMu    sync.Mutex
+
 	vecs   []ColumnVec
 	colIdx map[string]int
 
@@ -94,7 +103,42 @@ func (t *Table) Column(name string) (Column, bool) {
 }
 
 // NumRows returns the row count.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	if len(t.vecs) > 0 {
+		return t.vecs[0].n
+	}
+	return len(t.rows)
+}
+
+// syncRows materializes the row adapter up to the current vector length.
+// The fast path is one atomic load; the slow path (first row access after a
+// BulkAppend) builds the missing suffix from the vectors under a mutex, so
+// concurrent first readers share one materialization. Like all reads, it
+// must not race with Insert/BulkAppend on the same table.
+func (t *Table) syncRows() {
+	if t.rowsReady.Load() {
+		return
+	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
+	n := t.NumRows()
+	if len(t.rows) < n {
+		nc := len(t.Columns)
+		// One backing array for the whole suffix, sliced per row with a
+		// full-slice expression so an append through a shared row slice can
+		// never overwrite a neighbouring row.
+		backing := make([]sqlir.Value, (n-len(t.rows))*nc)
+		for ri := len(t.rows); ri < n; ri++ {
+			row := backing[:nc:nc]
+			backing = backing[nc:]
+			for ci := range t.vecs {
+				row[ci] = t.vecs[ci].Value(ri)
+			}
+			t.rows = append(t.rows, row)
+		}
+	}
+	t.rowsReady.Store(true)
+}
 
 // debugRowCopies makes Row and Rows return defensive copies so test builds
 // can prove no caller mutates table data through the shared slices (the
@@ -114,6 +158,7 @@ func SetDebugRowCopies(on bool) bool {
 // Row returns the i-th row (shared slice; callers must not mutate — enable
 // SetDebugRowCopies in tests to verify none does).
 func (t *Table) Row(i int) []sqlir.Value {
+	t.syncRows()
 	if debugRowCopies {
 		cp := make([]sqlir.Value, len(t.rows[i]))
 		copy(cp, t.rows[i])
@@ -124,6 +169,7 @@ func (t *Table) Row(i int) []sqlir.Value {
 
 // Rows returns all rows (shared; callers must not mutate).
 func (t *Table) Rows() [][]sqlir.Value {
+	t.syncRows()
 	if debugRowCopies {
 		cp := make([][]sqlir.Value, len(t.rows))
 		for i, r := range t.rows {
@@ -141,6 +187,7 @@ func (t *Table) Rows() [][]sqlir.Value {
 // representation. Differential tests call it after mutation-heavy
 // workloads; a mismatch means some caller wrote through a shared row slice.
 func (t *Table) CheckRowColumnConsistency() error {
+	t.syncRows()
 	for ri, row := range t.rows {
 		for ci := range t.Columns {
 			rv := row[ci]
@@ -169,6 +216,7 @@ func (t *Table) Insert(vals ...sqlir.Value) error {
 				t.Name, t.Columns[i].Name, v, v.Type(), t.Columns[i].Type)
 		}
 	}
+	t.syncRows() // a prior BulkAppend may have left the adapter behind
 	row := make([]sqlir.Value, len(vals))
 	copy(row, vals)
 	t.rows = append(t.rows, row)
@@ -210,9 +258,10 @@ func (t *Table) Index(col string) (map[sqlir.Value][]int32, error) {
 	}
 	t.hashMu.Unlock()
 	h.once.Do(func() {
+		vec := &t.vecs[ci]
 		h.m = make(map[sqlir.Value][]int32)
-		for ri, row := range t.rows {
-			v := row[ci]
+		for ri := 0; ri < vec.n; ri++ {
+			v := vec.Value(ri)
 			if v.IsNull() {
 				continue
 			}
