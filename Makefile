@@ -63,9 +63,12 @@ bench-loadgen:
 	status=$$?; rm -f bench.out; exit $$status
 
 # bench-server measures concurrent mixed-database serving through the HTTP
-# layer: per-request caches (baseline) vs the shared cold and warm engine.
+# layer: per-request caches (baseline) vs the shared cold and warm engine —
+# plus the chaos harness's cancel-to-return sweep (cmd/duoquest-loadtest
+# -chaos), which both gates clean-vs-faulty result equivalence and records
+# the deadline-fire-to-return quantiles at each data scale.
 bench-server:
-	@go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem > bench.out; \
+	@{ go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem && go run ./cmd/duoquest-loadtest -chaos -scale small -c 4; } > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_server.json < bench.out; \

@@ -11,6 +11,12 @@
 // bench-loadgen` can pipe them (together with the ingest and sweep
 // micro-benchmarks) through cmd/benchjson into BENCH_loadgen.json; the
 // human-readable narrative goes to stderr.
+//
+// With -chaos the normal phases are replaced by the fault-injection
+// harness (chaos.go): a clean reference pass, mixed faulty/clean traffic
+// gated on byte-equivalence of the clean results, and a deadline
+// cancel-to-return sweep whose bench lines `make bench-server` records
+// into BENCH_server.json.
 package main
 
 import (
@@ -46,6 +52,12 @@ type config struct {
 	sweep      string
 	sweepProbe int
 	short      bool
+
+	// chaos mode (see chaos.go): replaces the normal phases.
+	chaos       bool
+	chaosSeed   int64
+	cancelSweep string
+	cancelReqs  int
 }
 
 func main() {
@@ -71,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&cfg.sweep, "sweep", "10000,30000,100000", "comma-separated row counts for the verification scale sweep (empty disables)")
 	fs.IntVar(&cfg.sweepProbe, "sweep-probes", 100, "verification probes per sweep scale")
 	fs.BoolVar(&cfg.short, "short", false, "CI mode: shrink requests and sweep so the run finishes in seconds")
+	fs.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: clean reference pass, mixed faulty/clean traffic with an equivalence gate, then a cancel-to-return sweep (replaces the normal phases)")
+	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 7, "fault-schedule seed (same seed, same faults)")
+	fs.StringVar(&cfg.cancelSweep, "cancel-sweep", "10000,100000,300000", "comma-separated row counts for the chaos cancel-to-return sweep")
+	fs.IntVar(&cfg.cancelReqs, "cancel-requests", 24, "deadline-bounded requests per cancel-sweep scale")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,9 +94,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-c, -requests, and -tasks must all be >= 1 (got %d, %d, %d)",
 			cfg.workers, cfg.requests, cfg.tasks)
 	}
-	// Parse the sweep list up front so a malformed -sweep fails before the
+	// Parse the sweep lists up front so a malformed flag fails before the
 	// generation and load phases spend their time.
 	sweepScales, err := parseSweep(cfg.sweep)
+	if err != nil {
+		return err
+	}
+	cancelScales, err := parseSweep(cfg.cancelSweep)
 	if err != nil {
 		return err
 	}
@@ -94,6 +114,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if cfg.sweepProbe > 40 {
 			cfg.sweepProbe = 40
 		}
+		if cfg.cancelSweep == "10000,100000,300000" {
+			cancelScales = []int{10_000, 30_000}
+		}
+		if cfg.cancelReqs > 10 {
+			cfg.cancelReqs = 10
+		}
+	}
+	if cfg.chaos {
+		return runChaos(cfg, cancelScales, stdout, stderr)
 	}
 
 	spec, ok := loadgen.Preset(cfg.scale)
@@ -132,19 +161,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return driveSweep(cfg, sweepScales, eng, stdout, stderr)
 }
 
-// driveSessions runs the closed-loop synthesis phase.
-func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout, stderr io.Writer) error {
+// synthInputs synthesizes the NLQ+TSQ task mix for one generated database,
+// exactly as the simulation study does.
+func synthInputs(cfg config, g *loadgen.Generated) ([]service.Input, error) {
 	tasks, err := g.Tasks(cfg.tasks, cfg.seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	inputs := make([]service.Input, 0, len(tasks))
 	for i, task := range tasks {
 		sk, err := dataset.SynthesizeTSQ(task, dataset.DetailFull, cfg.seed+int64(i))
 		if err != nil {
-			return fmt.Errorf("task %s: %w", task.ID, err)
+			return nil, fmt.Errorf("task %s: %w", task.ID, err)
 		}
 		inputs = append(inputs, service.Input{NLQ: task.NLQ, Literals: task.Literals, Sketch: sk})
+	}
+	return inputs, nil
+}
+
+// driveSessions runs the closed-loop synthesis phase.
+func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout, stderr io.Writer) error {
+	inputs, err := synthInputs(cfg, g)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(stderr, "synthesized %d NLQ+TSQ tasks; driving %d requests over %d sessions\n",
 		len(inputs), cfg.requests, cfg.workers)

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	duoquest "github.com/duoquest/duoquest"
+)
+
+// ?deadline_ms= must be a positive integer; garbage is a client error, not a
+// silently ignored knob.
+func TestDeadlineParamValidation(t *testing.T) {
+	srv := testServer(t)
+	h := srv.handler()
+	for _, target := range []string{
+		"/synthesize?deadline_ms=abc",
+		"/synthesize?deadline_ms=-5",
+		"/synthesize?deadline_ms=0",
+		"/synthesize?deadline_ms=1.5",
+	} {
+		req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(masBody))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", target, w.Code)
+		}
+	}
+}
+
+// A request whose ?deadline_ms= expires mid-search gets 200 with the anytime
+// prefix and truncated set — not an error status.
+func TestDeadlineExpiryReturnsTruncated(t *testing.T) {
+	srv := testServer(t,
+		duoquest.WithBudget(10*time.Second),
+		duoquest.WithMaxCandidates(100000),
+	)
+	body := `{"nlq": "names of authors", "sketch": {"types": ["text"]}}`
+	req := httptest.NewRequest(http.MethodPost, "/synthesize?deadline_ms=1", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp synthesizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Error("1ms deadline on an open-ended search should truncate")
+	}
+	st := srv.eng.Stats()
+	var total int64
+	for _, db := range st.Databases {
+		total += db.Truncated
+	}
+	if total != 1 {
+		t.Errorf("Truncated stat = %d, want 1", total)
+	}
+}
+
+// A shed request gets a structured 503: machine-readable JSON body plus a
+// Retry-After header for informed backoff.
+func TestOverloadedResponseShape(t *testing.T) {
+	srv := testServer(t,
+		duoquest.WithBudget(5*time.Second),
+		duoquest.WithMaxCandidates(100000),
+		duoquest.WithMaxInFlight(1),
+		duoquest.WithMaxQueue(1),
+	)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Occupy the only in-flight slot with a streaming search, synchronized
+	// on its first emitted candidate.
+	body := `{"nlq": "names of authors", "sketch": {"types": ["text"]}}`
+	holder, cancelHolder := context.WithCancel(context.Background())
+	defer cancelHolder()
+	firstLine := make(chan struct{})
+	holderDone := make(chan struct{})
+	go func() {
+		defer close(holderDone)
+		req, _ := http.NewRequestWithContext(holder, http.MethodPost,
+			ts.URL+"/synthesize?stream=1", strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			close(firstLine)
+			return
+		}
+		defer resp.Body.Close()
+		br := bufio.NewReader(resp.Body)
+		if _, err := br.ReadString('\n'); err != nil {
+			close(firstLine)
+			return
+		}
+		close(firstLine)
+		for {
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	<-firstLine
+
+	// Fill the one queue slot with a second request.
+	waiter, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		req, _ := http.NewRequestWithContext(waiter, http.MethodPost,
+			ts.URL+"/synthesize", strings.NewReader(masBody))
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.eng.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third request must be shed immediately with the structured 503.
+	resp, err := http.Post(ts.URL+"/synthesize", "application/json", strings.NewReader(masBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want integer seconds >= 1", ra)
+	}
+	var body503 struct {
+		Error        string `json:"error"`
+		QueueDepth   int64  `json:"queue_depth"`
+		InFlight     int64  `json:"in_flight"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body503); err != nil {
+		t.Fatalf("503 body is not JSON: %v", err)
+	}
+	if body503.Error == "" || body503.RetryAfterMS < 1000 {
+		t.Errorf("503 body = %+v", body503)
+	}
+
+	cancelHolder()
+	cancelWaiter()
+	<-holderDone
+	<-waiterDone
+}
+
+// A client that disconnects mid-stream stops the search promptly and is
+// accounted as an interruption, not a success.
+func TestStreamDisconnectRecordsInterruption(t *testing.T) {
+	srv := testServer(t,
+		duoquest.WithBudget(10*time.Second),
+		duoquest.WithMaxCandidates(100000),
+	)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	body := `{"nlq": "names of authors", "sketch": {"types": ["text"]}}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/synthesize?stream=1", strings.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		cancel()
+		t.Fatalf("no first candidate: %v", err)
+	}
+	cancel() // client walks away mid-stream
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var interrupted int64
+		for _, db := range srv.eng.Stats().Databases {
+			interrupted += db.Interrupted
+		}
+		if interrupted == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("interruption never recorded (interrupted=%d)", interrupted)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -52,6 +52,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		budget      = flag.Duration("budget", 5*time.Second, "per-request search budget")
+		deadline    = flag.Duration("deadline", 0, "default per-request deadline; expiry returns a truncated partial result (0 = none)")
+		maxDeadline = flag.Duration("max-deadline", 30*time.Second, "upper clamp on ?deadline_ms= requests (0 = no clamp)")
 		topk        = flag.Int("k", 10, "max candidates per request")
 		workers     = flag.Int("workers", 0, "verification workers per request (0 = GOMAXPROCS, 1 = sequential)")
 		defaultDB   = flag.String("db", "mas", "default database for requests without ?db=")
@@ -66,6 +68,8 @@ func main() {
 	}
 	eng := duoquest.NewEngine(
 		duoquest.WithBudget(*budget),
+		duoquest.WithDefaultDeadline(*deadline),
+		duoquest.WithMaxDeadline(*maxDeadline),
 		duoquest.WithMaxCandidates(*topk),
 		duoquest.WithWorkers(*workers),
 		duoquest.WithMaxInFlight(*maxInFlight),
@@ -179,6 +183,10 @@ type synthesizeResponse struct {
 	Candidates []candidateJSON `json:"candidates"`
 	States     int             `json:"states"`
 	ElapsedMS  int64           `json:"elapsed_ms"`
+	// Truncated marks an anytime partial result: the deadline expired (or
+	// the request was cancelled) and candidates holds the deterministic
+	// prefix verified up to that point.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // streamLine is one NDJSON line of a streaming /synthesize response.
@@ -187,7 +195,37 @@ type streamLine struct {
 	Candidate *candidateJSON `json:"candidate,omitempty"`
 	States    int            `json:"states,omitempty"`
 	ElapsedMS int64          `json:"elapsed_ms,omitempty"`
+	Truncated bool           `json:"truncated,omitempty"`
 	Error     string         `json:"error,omitempty"`
+}
+
+// overloadedJSON is the structured 503 body for shed requests: enough for a
+// client to implement informed backoff.
+type overloadedJSON struct {
+	Error        string `json:"error"`
+	QueueDepth   int64  `json:"queue_depth"`
+	InFlight     int64  `json:"in_flight"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// writeOverloaded renders a 503 with a Retry-After header scaled by the
+// current queue depth, so backed-off clients spread their retries instead of
+// stampeding the moment one slot frees.
+func (s *server) writeOverloaded(w http.ResponseWriter) {
+	st := s.eng.Stats()
+	retry := time.Second + time.Duration(st.Queued)*100*time.Millisecond
+	if retry > 30*time.Second {
+		retry = 30 * time.Second
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(overloadedJSON{
+		Error:        "synthesis queue is full",
+		QueueDepth:   st.Queued,
+		InFlight:     st.InFlight,
+		RetryAfterMS: retry.Milliseconds(),
+	})
 }
 
 // wantsStream reports whether the client asked for NDJSON progressive
@@ -234,6 +272,15 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		}
 		input.Sketch = sk
 	}
+	if ms := r.URL.Query().Get("deadline_ms"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("deadline_ms must be a positive integer, got %q", ms), http.StatusBadRequest)
+			return
+		}
+		// The engine clamps this to its -max-deadline.
+		input.Deadline = time.Duration(n) * time.Millisecond
+	}
 
 	if wantsStream(r) {
 		s.synthesizeStream(w, r, ses, input)
@@ -241,10 +288,14 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := ses.Synthesize(r.Context(), input)
 	if err != nil {
+		if errors.Is(err, duoquest.ErrOverloaded) {
+			s.writeOverloaded(w)
+			return
+		}
 		http.Error(w, err.Error(), synthesizeErrStatus(err))
 		return
 	}
-	resp := synthesizeResponse{States: res.States, ElapsedMS: res.Elapsed.Milliseconds()}
+	resp := synthesizeResponse{States: res.States, ElapsedMS: res.Elapsed.Milliseconds(), Truncated: res.Truncated}
 	for _, c := range res.Candidates {
 		resp.Candidates = append(resp.Candidates, s.candidateJSON(ses, c))
 	}
@@ -265,6 +316,13 @@ func (s *server) synthesizeStream(w http.ResponseWriter, r *http.Request, ses *d
 	enc := json.NewEncoder(w)
 	emitted := 0
 	emit := func(c duoquest.Candidate) bool {
+		if r.Context().Err() != nil {
+			// Client disconnected mid-stream: stop emitting immediately
+			// instead of computing previews for a dead connection. The
+			// cancelled request context makes the search unwind and the
+			// service layer records the interruption, not a success.
+			return false
+		}
 		cj := s.candidateJSON(ses, c)
 		if err := enc.Encode(streamLine{Type: "candidate", Candidate: &cj}); err != nil {
 			return false // client went away; stop the search
@@ -280,13 +338,17 @@ func (s *server) synthesizeStream(w http.ResponseWriter, r *http.Request, ses *d
 		if emitted == 0 {
 			// Nothing on the wire yet: a plain HTTP error is still
 			// possible (overload, invalid sketch, cancelled context).
+			if errors.Is(err, duoquest.ErrOverloaded) {
+				s.writeOverloaded(w)
+				return
+			}
 			http.Error(w, err.Error(), synthesizeErrStatus(err))
 			return
 		}
 		enc.Encode(streamLine{Type: "error", Error: err.Error()})
 		return
 	}
-	enc.Encode(streamLine{Type: "done", States: res.States, ElapsedMS: res.Elapsed.Milliseconds()})
+	enc.Encode(streamLine{Type: "done", States: res.States, ElapsedMS: res.Elapsed.Milliseconds(), Truncated: res.Truncated})
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -444,15 +506,22 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		Dicts       []dictJSON  `json:"dicts"`
 	}
 	type dbJSON struct {
-		Database         string      `json:"database"`
-		Requests         int64       `json:"requests"`
-		Errors           int64       `json:"errors"`
-		Candidates       int64       `json:"candidates"`
-		AutocompleteSize int         `json:"autocomplete_size"`
-		P50MS            float64     `json:"p50_ms"`
-		P95MS            float64     `json:"p95_ms"`
-		Cache            cacheJSON   `json:"cache"`
-		Storage          storageJSON `json:"storage"`
+		Database         string  `json:"database"`
+		Requests         int64   `json:"requests"`
+		Errors           int64   `json:"errors"`
+		Candidates       int64   `json:"candidates"`
+		Truncated        int64   `json:"truncated"`
+		Interrupted      int64   `json:"interrupted"`
+		AutocompleteSize int     `json:"autocomplete_size"`
+		P50MS            float64 `json:"p50_ms"`
+		P95MS            float64 `json:"p95_ms"`
+		// Cancel-to-return latency: the gap between a request's context
+		// firing and the request actually returning.
+		CancelReturns       int64       `json:"cancel_returns"`
+		CancelToReturnP50NS int64       `json:"cancel_to_return_p50_ns"`
+		CancelToReturnP99NS int64       `json:"cancel_to_return_p99_ns"`
+		Cache               cacheJSON   `json:"cache"`
+		Storage             storageJSON `json:"storage"`
 	}
 	type statsJSON struct {
 		InFlight  int64    `json:"in_flight"`
@@ -493,13 +562,18 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 			})
 		}
 		out.Databases = append(out.Databases, dbJSON{
-			Database:         d.Database,
-			Requests:         d.Requests,
-			Errors:           d.Errors,
-			Candidates:       d.Candidates,
-			AutocompleteSize: d.AutocompleteSize,
-			P50MS:            float64(d.P50) / float64(time.Millisecond),
-			P95MS:            float64(d.P95) / float64(time.Millisecond),
+			Database:            d.Database,
+			Requests:            d.Requests,
+			Errors:              d.Errors,
+			Candidates:          d.Candidates,
+			Truncated:           d.Truncated,
+			Interrupted:         d.Interrupted,
+			AutocompleteSize:    d.AutocompleteSize,
+			P50MS:               float64(d.P50) / float64(time.Millisecond),
+			P95MS:               float64(d.P95) / float64(time.Millisecond),
+			CancelReturns:       d.CancelReturns,
+			CancelToReturnP50NS: d.CancelP50.Nanoseconds(),
+			CancelToReturnP99NS: d.CancelP99.Nanoseconds(),
 			Cache: cacheJSON{
 				JoinPaths:      d.Cache.JoinPaths,
 				StreamedExists: d.Cache.Pipeline.StreamedExists,

@@ -164,30 +164,34 @@ var ErrOverloaded = service.ErrOverloaded
 
 // config collects synthesizer options.
 type config struct {
-	model         GuidanceModel
-	rules         *RuleSet
-	mode          Mode
-	budget        time.Duration
-	maxCandidates int
-	maxStates     int
-	workers       int
-	maxInFlight   int
-	maxQueue      int
+	model           GuidanceModel
+	rules           *RuleSet
+	mode            Mode
+	budget          time.Duration
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	maxCandidates   int
+	maxStates       int
+	workers         int
+	maxInFlight     int
+	maxQueue        int
 }
 
 // options converts the config to the service layer's form.
 func (c config) options() service.Options {
 	return service.Options{
-		Model:         c.model,
-		Rules:         c.rules,
-		NoRules:       c.rules == nil,
-		Mode:          c.mode,
-		Budget:        c.budget,
-		MaxCandidates: c.maxCandidates,
-		MaxStates:     c.maxStates,
-		Workers:       c.workers,
-		MaxInFlight:   c.maxInFlight,
-		MaxQueue:      c.maxQueue,
+		Model:           c.model,
+		Rules:           c.rules,
+		NoRules:         c.rules == nil,
+		Mode:            c.mode,
+		Budget:          c.budget,
+		DefaultDeadline: c.defaultDeadline,
+		MaxDeadline:     c.maxDeadline,
+		MaxCandidates:   c.maxCandidates,
+		MaxStates:       c.maxStates,
+		Workers:         c.workers,
+		MaxInFlight:     c.maxInFlight,
+		MaxQueue:        c.maxQueue,
 	}
 }
 
@@ -206,6 +210,24 @@ func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
 // WithBudget bounds the wall-clock search time per request (default 2s) —
 // the front-end's pre-specified timeout (§4).
 func WithBudget(d time.Duration) Option { return func(c *config) { c.budget = d } }
+
+// WithDefaultDeadline sets the per-request wall-clock deadline applied when
+// a request carries none (0, the default, applies no deadline). Unlike
+// WithBudget — which the enumerator only checks between search states — the
+// deadline rides the request context through the executor's cancellation
+// checkpoints, so expiry unwinds verification mid-scan and the request
+// returns the candidates found so far with Result.Truncated set, not an
+// error.
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(c *config) { c.defaultDeadline = d }
+}
+
+// WithMaxDeadline clamps every request's deadline, including requests that
+// asked for none (0, the default, applies no clamp). The HTTP server's
+// ?deadline_ms= parameter is bounded by this.
+func WithMaxDeadline(d time.Duration) Option {
+	return func(c *config) { c.maxDeadline = d }
+}
 
 // WithMaxCandidates stops after emitting n candidates (default 50).
 func WithMaxCandidates(n int) Option { return func(c *config) { c.maxCandidates = n } }

@@ -94,7 +94,15 @@ type Result struct {
 	Candidates []Candidate
 	States     int
 	Exhausted  bool // the whole space was enumerated
-	Elapsed    time.Duration
+	// Truncated marks an anytime partial result: the search was cut short by
+	// cancellation, deadline expiry, or an injected fault, and Candidates
+	// holds what was verified up to that point. Because candidates are
+	// consumed in the reordering buffer's sequential order, a truncated
+	// candidate list is always a prefix of the untruncated run's. MaxStates,
+	// MaxCandidates, and emit-stopped searches are complete answers under
+	// their configured bounds, not truncations.
+	Truncated bool
+	Elapsed   time.Duration
 }
 
 // state is one search node: a partial query plus its confidence.
@@ -182,11 +190,19 @@ func New(db *storage.Database, model guidance.Model, verifier *verify.Verifier, 
 
 // Enumerate runs Algorithm 1, invoking emit for each candidate query in
 // ranked order. emit returning false stops the search early.
+//
+// Cancellation and the Budget deadline produce an anytime result, not an
+// error: the returned Result carries the candidates verified so far (a
+// deterministic prefix of the untruncated run) with Truncated set.
 func (e *Enumerator) Enumerate(ctx context.Context, nlq string, literals []sqlir.Value, emit func(Candidate) bool) (*Result, error) {
 	start := time.Now()
-	deadline := time.Time{}
 	if e.opts.Budget > 0 {
-		deadline = start.Add(e.opts.Budget)
+		// The budget rides the context so verification workers mid-scan see
+		// the expiry at the executor's cancellation checkpoints instead of
+		// running their state to completion.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(e.opts.Budget))
+		defer cancel()
 	}
 	mctx := guidance.NewContextDB(nlq, literals, e.db, nil)
 
@@ -209,18 +225,20 @@ func (e *Enumerator) Enumerate(ctx context.Context, nlq string, literals []sqlir
 	seen := map[string]bool{} // canonical dedup of emitted candidates
 	emitted := 0
 
+	// truncate finalizes the anytime partial result for a search cut short.
+	truncate := func() (*Result, error) {
+		res.Truncated = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
 	for pq.Len() > 0 {
 		if res.States >= e.opts.MaxStates {
 			return res, nil
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			res.Elapsed = time.Since(start)
-			return res, nil
-		}
 		select {
 		case <-ctx.Done():
-			res.Elapsed = time.Since(start)
-			return res, nil
+			return truncate()
 		default:
 		}
 
@@ -246,12 +264,16 @@ func (e *Enumerator) Enumerate(ctx context.Context, nlq string, literals []sqlir
 				if batch != nil {
 					r := batch[i]
 					if r.cancelled {
-						res.Elapsed = time.Since(start)
-						return res, nil
+						return truncate()
 					}
 					out, err = r.out, r.err
 				} else {
-					out, err = e.verifier.Verify(c.q)
+					out, err = e.verifier.VerifyCtx(ctx, c.q)
+				}
+				if transientErr(err) {
+					// The request died (or drew an injected fault) mid-
+					// verification: degrade to the candidates already emitted.
+					return truncate()
 				}
 				if err != nil {
 					return res, err

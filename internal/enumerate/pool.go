@@ -2,11 +2,26 @@ package enumerate
 
 import (
 	"context"
+	"errors"
 	"sync"
 
+	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/verify"
 )
+
+// transientErr reports whether err reflects the request's fate —
+// cancellation, deadline expiry, or an injected fault — rather than a real
+// verification failure. Transient errors truncate the search into an
+// anytime partial result instead of surfacing as errors.
+func transientErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		faultinject.IsInjected(err)
+}
 
 // verifyJob is one candidate state handed to the pool. idx is the child's
 // position within its expansion batch, so results arriving out of order can
@@ -50,7 +65,13 @@ func newVerifyPool(ctx context.Context, v *verify.Verifier, n int) *verifyPool {
 					j.out <- verifyResult{idx: j.idx, cancelled: true}
 					continue
 				}
-				out, err := v.Verify(j.q)
+				out, err := v.VerifyCtx(ctx, j.q)
+				if transientErr(err) {
+					// The request was cancelled (or faulted) mid-check: the
+					// partial outcome is meaningless, report cancellation.
+					j.out <- verifyResult{idx: j.idx, cancelled: true}
+					continue
+				}
 				j.out <- verifyResult{idx: j.idx, out: out, err: err}
 			}
 		}()

@@ -1,0 +1,262 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// layer for the execution stack. An Injector decides, per call site and per
+// call index, whether a fault fires: injected per-probe latency in the
+// streaming executor, injected errors at the verify seam, forced request
+// cancellations at the service seam, and simulated ingest stalls in bulk
+// loading. Decisions are a pure function of (seed, site, call index, rate),
+// so the same seed always yields the same fault schedule — which is what
+// lets the chaos harness assert that clean traffic interleaved with faulty
+// traffic stays byte-identical to a fault-free run, and what makes a chaos
+// failure replayable.
+//
+// Injection is opt-in per request: an Injector rides in the request
+// context (With/From), so only requests explicitly marked faulty ever see a
+// fault, and shared caches serving clean requests are never poisoned. Call
+// sites without a context (storage bulk ingest) consult an optional
+// process-global injector. When nothing is enabled — the production
+// default — every hook is a single atomic load and the package costs
+// nothing on the hot path.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one fault-injection seam.
+type Site uint8
+
+// The instrumented seams.
+const (
+	// SiteProbe fires inside the streaming executor, once per index probe.
+	SiteProbe Site = iota
+	// SiteVerify fires at the verifier's entry, once per Verify call.
+	SiteVerify
+	// SiteRequest fires at service admission, once per synthesis request.
+	SiteRequest
+	// SiteIngest fires in storage.BulkAppend, once per bulk batch.
+	SiteIngest
+	numSites
+)
+
+// String names the site.
+func (s Site) String() string {
+	switch s {
+	case SiteProbe:
+		return "probe"
+	case SiteVerify:
+		return "verify"
+	case SiteRequest:
+		return "request"
+	case SiteIngest:
+		return "ingest"
+	default:
+		return fmt.Sprintf("site(%d)", uint8(s))
+	}
+}
+
+// ErrInjected is the sentinel all injected errors wrap. Downstream layers
+// treat injected errors like cancellations for caching purposes: they are
+// never memoized, so a fault against one request cannot poison the shared
+// caches other requests borrow.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Config is one injector's deterministic fault plan. Rates are in [0, 1]:
+// the fraction of calls at that site that fault. Zero-valued fields disable
+// their fault class.
+type Config struct {
+	// Seed drives the whole schedule; same seed, same faults.
+	Seed int64
+
+	// ProbeRate/ProbeLatency: inject ProbeLatency of sleep into this
+	// fraction of streaming-executor index probes (slow-disk/page-fault
+	// simulation; stresses the cancellation checkpoints).
+	ProbeRate    float64
+	ProbeLatency time.Duration
+
+	// VerifyErrRate: this fraction of Verify calls fail with an injected
+	// error instead of verifying.
+	VerifyErrRate float64
+
+	// CancelRate/CancelAfter: this fraction of synthesis requests are
+	// force-cancelled CancelAfter after admission (client-disconnect
+	// simulation).
+	CancelRate  float64
+	CancelAfter time.Duration
+
+	// IngestRate/IngestStall: this fraction of bulk-append batches sleep
+	// IngestStall before appending (stalled-writer simulation).
+	IngestRate  float64
+	IngestStall time.Duration
+}
+
+// Injector is a live fault schedule: per-site call counters over a Config.
+// It is safe for concurrent use; the counters are atomic, so under
+// concurrency the schedule (which call indexes fault) is deterministic even
+// though the assignment of indexes to goroutines is not.
+type Injector struct {
+	cfg      Config
+	counters [numSites]atomic.Uint64
+	fired    [numSites]atomic.Uint64
+}
+
+// New builds an injector over a config.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Config returns the injector's fault plan.
+func (in *Injector) Config() Config { return in.cfg }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, high-quality bijective
+// mixer, so consecutive call indexes decorrelate fully.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Decide is the pure scheduling function: whether call n at site under seed
+// faults at the given rate. Exported so tests (and the chaos harness) can
+// predict and replay a schedule without an Injector.
+func Decide(seed int64, site Site, n uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := splitmix64(uint64(seed) ^ splitmix64(uint64(site)+1) ^ splitmix64(n))
+	// 53 uniform bits → [0, 1).
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// fires advances site's call counter and reports whether this call faults.
+func (in *Injector) fires(site Site, rate float64) bool {
+	n := in.counters[site].Add(1) - 1
+	if Decide(in.cfg.Seed, site, n, rate) {
+		in.fired[site].Add(1)
+		return true
+	}
+	return false
+}
+
+// Counts reports (calls, faults) seen at a site so far — the chaos
+// harness's accounting of how much fault pressure a run actually applied.
+func (in *Injector) Counts(site Site) (calls, faults uint64) {
+	return in.counters[site].Load(), in.fired[site].Load()
+}
+
+// ProbeDelay returns the latency to inject into the current index probe
+// (0 = none). The caller sleeps; the injector only schedules.
+func (in *Injector) ProbeDelay() time.Duration {
+	if in == nil || in.cfg.ProbeRate <= 0 || in.cfg.ProbeLatency <= 0 {
+		return 0
+	}
+	if in.fires(SiteProbe, in.cfg.ProbeRate) {
+		return in.cfg.ProbeLatency
+	}
+	return 0
+}
+
+// VerifyError returns an injected verification error, or nil.
+func (in *Injector) VerifyError() error {
+	if in == nil || in.cfg.VerifyErrRate <= 0 {
+		return nil
+	}
+	if in.fires(SiteVerify, in.cfg.VerifyErrRate) {
+		return fmt.Errorf("injected verify fault: %w", ErrInjected)
+	}
+	return nil
+}
+
+// RequestCancel reports whether the current request should be
+// force-cancelled, and after what delay.
+func (in *Injector) RequestCancel() (time.Duration, bool) {
+	if in == nil || in.cfg.CancelRate <= 0 {
+		return 0, false
+	}
+	if in.fires(SiteRequest, in.cfg.CancelRate) {
+		return in.cfg.CancelAfter, true
+	}
+	return 0, false
+}
+
+// IngestStall returns the stall to inject into the current bulk-append
+// batch (0 = none).
+func (in *Injector) IngestStall() time.Duration {
+	if in == nil || in.cfg.IngestRate <= 0 || in.cfg.IngestStall <= 0 {
+		return 0
+	}
+	if in.fires(SiteIngest, in.cfg.IngestRate) {
+		return in.cfg.IngestStall
+	}
+	return 0
+}
+
+// ctxKey keys the context carrier.
+type ctxKey struct{}
+
+// anyActive is the fast-path gate: it stays false until the first With or
+// SetGlobal, so deployments that never inject pay one atomic load per hook.
+var anyActive atomic.Bool
+
+// globalInj is the process-global injector for seams without a context.
+var globalInj atomic.Pointer[Injector]
+
+// With marks a request faulty by attaching an injector to its context.
+// Requests without one never see a context-scoped fault.
+func With(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	anyActive.Store(true)
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// From extracts the request's injector, nil when the request is clean (or
+// injection has never been enabled in this process).
+func From(ctx context.Context) *Injector {
+	if !anyActive.Load() {
+		return nil
+	}
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}
+
+// SetGlobal installs (or, with nil, removes) the process-global injector
+// consulted by context-free seams such as bulk ingest.
+func SetGlobal(in *Injector) {
+	if in != nil {
+		anyActive.Store(true)
+	}
+	globalInj.Store(in)
+}
+
+// Global returns the process-global injector, nil when unset or injection
+// has never been enabled.
+func Global() *Injector {
+	if !anyActive.Load() {
+		return nil
+	}
+	return globalInj.Load()
+}
+
+// Sleep performs an injected delay, honouring ctx so a cancelled request
+// does not serve out its injected latency.
+func Sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic proves the scheduling function is pure: the same
+// (seed, site, index, rate) always yields the same decision, and two
+// injectors with the same config produce identical sequential schedules.
+func TestDecideDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		for site := Site(0); site < numSites; site++ {
+			for n := uint64(0); n < 512; n++ {
+				a := Decide(seed, site, n, 0.25)
+				b := Decide(seed, site, n, 0.25)
+				if a != b {
+					t.Fatalf("Decide(%d, %v, %d) not deterministic", seed, site, n)
+				}
+			}
+		}
+	}
+
+	cfg := Config{Seed: 99, ProbeRate: 0.3, ProbeLatency: time.Nanosecond,
+		VerifyErrRate: 0.2, CancelRate: 0.5, CancelAfter: time.Nanosecond}
+	schedule := func() []bool {
+		in := New(cfg)
+		var out []bool
+		for i := 0; i < 256; i++ {
+			out = append(out, in.ProbeDelay() > 0)
+			out = append(out, in.VerifyError() != nil)
+			_, c := in.RequestCancel()
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed injectors diverge at decision %d", i)
+		}
+	}
+}
+
+// TestDecideSeedsDiffer sanity-checks that different seeds produce
+// different schedules (the mixer is not degenerate).
+func TestDecideSeedsDiffer(t *testing.T) {
+	same := 0
+	for n := uint64(0); n < 1024; n++ {
+		if Decide(1, SiteProbe, n, 0.5) == Decide(2, SiteProbe, n, 0.5) {
+			same++
+		}
+	}
+	if same > 700 || same < 300 {
+		t.Fatalf("seeds 1 and 2 agree on %d/1024 decisions; mixer looks degenerate", same)
+	}
+}
+
+// TestRateBounds checks rate 0 never fires and rate 1 always fires, and
+// that an intermediate rate lands near its expectation.
+func TestRateBounds(t *testing.T) {
+	fired := 0
+	for n := uint64(0); n < 4096; n++ {
+		if Decide(7, SiteVerify, n, 0) {
+			t.Fatal("rate 0 fired")
+		}
+		if !Decide(7, SiteVerify, n, 1) {
+			t.Fatal("rate 1 did not fire")
+		}
+		if Decide(7, SiteVerify, n, 0.25) {
+			fired++
+		}
+	}
+	if fired < 850 || fired > 1200 {
+		t.Fatalf("rate 0.25 fired %d/4096 times; expected ~1024", fired)
+	}
+}
+
+// TestContextCarrier checks With/From round-trips and that clean contexts
+// stay clean.
+func TestContextCarrier(t *testing.T) {
+	in := New(Config{Seed: 1})
+	ctx := With(context.Background(), in)
+	if got := From(ctx); got != in {
+		t.Fatalf("From returned %v, want the attached injector", got)
+	}
+	if got := From(context.Background()); got != nil {
+		t.Fatalf("clean context returned injector %v", got)
+	}
+	if With(context.Background(), nil) != context.Background() {
+		t.Fatal("With(nil) should be the identity")
+	}
+}
+
+// TestGlobal checks the process-global carrier used by context-free seams.
+func TestGlobal(t *testing.T) {
+	in := New(Config{Seed: 3, IngestRate: 1, IngestStall: time.Nanosecond})
+	SetGlobal(in)
+	defer SetGlobal(nil)
+	if Global() != in {
+		t.Fatal("Global did not return the installed injector")
+	}
+	if d := Global().IngestStall(); d != time.Nanosecond {
+		t.Fatalf("IngestStall = %v, want 1ns at rate 1", d)
+	}
+	SetGlobal(nil)
+	if Global() != nil {
+		t.Fatal("Global not cleared")
+	}
+}
+
+// TestInjectedErrors checks the sentinel wrapping.
+func TestInjectedErrors(t *testing.T) {
+	in := New(Config{Seed: 5, VerifyErrRate: 1})
+	err := in.VerifyError()
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("VerifyError at rate 1 = %v; want injected error", err)
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Fatal("plain error misreported as injected")
+	}
+	if IsInjected(fmt.Errorf("wrap: %w", context.Canceled)) {
+		t.Fatal("cancellation misreported as injected")
+	}
+}
+
+// TestNilInjectorHooks checks every hook is a safe no-op on a nil receiver
+// (the disabled fast path call sites rely on).
+func TestNilInjectorHooks(t *testing.T) {
+	var in *Injector
+	if in.ProbeDelay() != 0 {
+		t.Fatal("nil ProbeDelay fired")
+	}
+	if in.VerifyError() != nil {
+		t.Fatal("nil VerifyError fired")
+	}
+	if _, ok := in.RequestCancel(); ok {
+		t.Fatal("nil RequestCancel fired")
+	}
+	if in.IngestStall() != 0 {
+		t.Fatal("nil IngestStall fired")
+	}
+}
+
+// TestCountsConcurrent checks the counters are race-free and the total
+// fault count matches the deterministic schedule's count, regardless of
+// which goroutine drew which index.
+func TestCountsConcurrent(t *testing.T) {
+	const calls = 4096
+	cfg := Config{Seed: 11, VerifyErrRate: 0.5}
+	in := New(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls/8; i++ {
+				in.VerifyError()
+			}
+		}()
+	}
+	wg.Wait()
+	want := 0
+	for n := uint64(0); n < calls; n++ {
+		if Decide(cfg.Seed, SiteVerify, n, cfg.VerifyErrRate) {
+			want++
+		}
+	}
+	gotCalls, gotFaults := in.Counts(SiteVerify)
+	if gotCalls != calls || gotFaults != uint64(want) {
+		t.Fatalf("Counts = (%d, %d), want (%d, %d)", gotCalls, gotFaults, calls, want)
+	}
+}
+
+// TestSleepHonoursCancel checks injected latency unwinds on cancellation.
+func TestSleepHonoursCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	Sleep(ctx, time.Minute)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Sleep on cancelled ctx took %v", d)
+	}
+}

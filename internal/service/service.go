@@ -27,6 +27,7 @@ import (
 
 	"github.com/duoquest/duoquest/internal/autocomplete"
 	"github.com/duoquest/duoquest/internal/enumerate"
+	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/guidance"
 	"github.com/duoquest/duoquest/internal/semrules"
 	"github.com/duoquest/duoquest/internal/sqlexec"
@@ -47,6 +48,11 @@ type Input struct {
 	NLQ      string
 	Literals []sqlir.Value
 	Sketch   *tsq.TSQ
+	// Deadline is this request's wall-clock budget (0 = the engine's
+	// DefaultDeadline). It is clamped to the engine's MaxDeadline. On expiry
+	// the request returns an anytime partial result — the candidates
+	// verified so far, flagged Truncated — not an error.
+	Deadline time.Duration
 }
 
 // Options configures an Engine. The zero value is usable: lexical guidance,
@@ -73,6 +79,18 @@ type Options struct {
 	// Workers bounds each request's verification worker pool
 	// (0 = GOMAXPROCS, 1 = verify inline).
 	Workers int
+
+	// DefaultDeadline is the per-request wall-clock budget applied when a
+	// request does not carry its own (0 = none). Unlike Budget — which the
+	// enumerator checks between states — the deadline rides the request
+	// context, so expiry unwinds verification mid-scan through the
+	// executor's cancellation checkpoints and yields a Truncated anytime
+	// result.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps every request's deadline, including requests that
+	// ask for none (0 = no clamp). The server's ?deadline_ms= knob is bounded
+	// by this.
+	MaxDeadline time.Duration
 
 	// MaxInFlight bounds concurrently running syntheses across all
 	// databases (0 = unbounded). Excess requests wait in a queue.
@@ -122,13 +140,21 @@ type dbState struct {
 	idxOnce sync.Once
 	idx     *autocomplete.Index
 
-	m          sync.Mutex
-	requests   int64
-	errors     int64
-	candidates int64
-	lat        []time.Duration // latency ring
-	latPos     int
-	latN       int // number of valid entries (<= len(lat))
+	m           sync.Mutex
+	requests    int64
+	errors      int64
+	candidates  int64
+	truncated   int64           // requests that returned a Truncated anytime result
+	interrupted int64           // requests cancelled by the caller (client disconnect)
+	lat         []time.Duration // latency ring
+	latPos      int
+	latN        int // number of valid entries (<= len(lat))
+	// cancel-to-return ring: how long a cancelled or deadline-expired
+	// request took to actually return after its context fired.
+	cret      []time.Duration
+	cretPos   int
+	cretN     int
+	cretTotal int64 // cumulative count of cancelled returns
 }
 
 // NewEngine builds an engine.
@@ -167,6 +193,7 @@ func (e *Engine) Register(db *storage.Database) error {
 		db:    db,
 		cache: verify.NewCache(db),
 		lat:   make([]time.Duration, e.opts.LatencyWindow),
+		cret:  make([]time.Duration, e.opts.LatencyWindow),
 	}
 	e.order = append(e.order, db.Name)
 	return nil
@@ -272,6 +299,41 @@ func (s *Session) SynthesizeStream(ctx context.Context, in Input, emit func(enum
 	defer release()
 
 	start := time.Now()
+	// Resolve the request's wall-clock deadline: its own ask, else the
+	// engine default, clamped to the engine maximum. The budget starts after
+	// admission — queueing time is the engine's debt, not the request's.
+	budget := in.Deadline
+	if budget <= 0 {
+		budget = s.eng.opts.DefaultDeadline
+	}
+	if max := s.eng.opts.MaxDeadline; max > 0 && (budget <= 0 || budget > max) {
+		budget = max
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	// Fault seam: a request marked faulty may draw a forced cancellation —
+	// the chaos harness's client-disconnect simulation.
+	if delay, forced := faultinject.From(ctx).RequestCancel(); forced {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		if delay <= 0 {
+			cancel()
+		} else {
+			t := time.AfterFunc(delay, cancel)
+			defer t.Stop()
+		}
+	}
+	// Cancel-to-return watcher: stamp the instant the context fires so the
+	// gap to Enumerate's return — the latency a disconnecting client
+	// actually observes — lands in the per-database stats.
+	var firedAt atomic.Int64
+	stopWatch := context.AfterFunc(ctx, func() { firedAt.Store(time.Now().UnixNano()) })
+	defer stopWatch()
+
 	var v *verify.Verifier
 	if s.eng.opts.PerRequestCaches {
 		v = verify.New(s.ds.db, s.eng.rules, in.Sketch, in.Literals)
@@ -286,7 +348,24 @@ func (s *Session) SynthesizeStream(ctx context.Context, in Input, emit func(enum
 		Workers:       s.eng.opts.Workers,
 	})
 	res, err := en.Enumerate(ctx, in.NLQ, in.Literals, emit)
-	s.ds.record(time.Since(start), res, err)
+	stopWatch()
+	var cancelReturn time.Duration
+	cancelled := ctx.Err() != nil
+	if cancelled {
+		now := time.Now()
+		if at := firedAt.Load(); at > 0 {
+			cancelReturn = now.Sub(time.Unix(0, at))
+		} else if dl, ok := ctx.Deadline(); ok && now.After(dl) {
+			// The AfterFunc goroutine has not run yet; the deadline
+			// overshoot is the same quantity measured without it.
+			cancelReturn = now.Sub(dl)
+		}
+		if cancelReturn < 0 {
+			cancelReturn = 0
+		}
+	}
+	interrupted := errors.Is(ctx.Err(), context.Canceled)
+	s.ds.record(time.Since(start), res, err, cancelled, cancelReturn, interrupted)
 	return res, err
 }
 
@@ -315,10 +394,18 @@ func (s *Session) AutocompleteSize() int {
 // drives this surface so its measurements exercise exactly the shared-cache
 // path production verification uses.
 func (s *Session) Exists(eq sqlexec.ExistsQuery) (bool, error) {
+	return s.ExistsCtx(context.Background(), eq)
+}
+
+// ExistsCtx is Exists under a request context: the probe unwinds at the
+// executor's cancellation checkpoints when ctx is cancelled, and a
+// fault-marked context (see internal/faultinject) draws its injected probe
+// latency here.
+func (s *Session) ExistsCtx(ctx context.Context, eq sqlexec.ExistsQuery) (bool, error) {
 	if s.eng.opts.PerRequestCaches {
-		return sqlexec.Exists(s.ds.db, eq)
+		return sqlexec.ExistsCtx(ctx, s.ds.db, eq)
 	}
-	return s.ds.cache.Joins().Exists(eq)
+	return s.ds.cache.Joins().ExistsCtx(ctx, eq)
 }
 
 // Preview executes a candidate query with a row cap, powering the
@@ -358,7 +445,11 @@ func (ds *dbState) autocompleteIndex() *autocomplete.Index {
 }
 
 // record folds one finished request into the per-database accounting.
-func (ds *dbState) record(d time.Duration, res *enumerate.Result, err error) {
+// cancelled marks a request whose context fired before it returned;
+// cancelReturn is the observed cancel-to-return gap for such requests, and
+// interrupted marks the caller-cancelled subset (client disconnects), which
+// are accounted as interruptions rather than successes.
+func (ds *dbState) record(d time.Duration, res *enumerate.Result, err error, cancelled bool, cancelReturn time.Duration, interrupted bool) {
 	ds.m.Lock()
 	defer ds.m.Unlock()
 	ds.requests++
@@ -367,6 +458,20 @@ func (ds *dbState) record(d time.Duration, res *enumerate.Result, err error) {
 	}
 	if res != nil {
 		ds.candidates += int64(len(res.Candidates))
+		if res.Truncated {
+			ds.truncated++
+		}
+	}
+	if interrupted {
+		ds.interrupted++
+	}
+	if cancelled && len(ds.cret) > 0 {
+		ds.cret[ds.cretPos] = cancelReturn
+		ds.cretPos = (ds.cretPos + 1) % len(ds.cret)
+		if ds.cretN < len(ds.cret) {
+			ds.cretN++
+		}
+		ds.cretTotal++
 	}
 	if len(ds.lat) > 0 {
 		ds.lat[ds.latPos] = d

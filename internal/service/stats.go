@@ -49,10 +49,18 @@ type DBStats struct {
 	Requests         int64
 	Errors           int64
 	Candidates       int64
-	AutocompleteSize int // 0 until the shared index is first used
+	Truncated        int64 // requests that returned a Truncated anytime result
+	Interrupted      int64 // requests cancelled by the caller (client disconnect)
+	AutocompleteSize int   // 0 until the shared index is first used
 	Cache            CacheStats
 	Storage          StorageStats
 	P50, P95         time.Duration // over the latency window; 0 if no requests
+
+	// CancelReturns counts cancelled or deadline-expired requests; the
+	// quantiles are their cancel-to-return latency — how long after the
+	// context fired the request actually returned — over the window.
+	CancelReturns        int64
+	CancelP50, CancelP99 time.Duration
 }
 
 // Stats is the engine-wide serving snapshot.
@@ -92,21 +100,29 @@ func (e *Engine) Stats() Stats {
 func (ds *dbState) snapshot() DBStats {
 	ds.m.Lock()
 	out := DBStats{
-		Database:   ds.db.Name,
-		Requests:   ds.requests,
-		Errors:     ds.errors,
-		Candidates: ds.candidates,
+		Database:      ds.db.Name,
+		Requests:      ds.requests,
+		Errors:        ds.errors,
+		Candidates:    ds.candidates,
+		Truncated:     ds.truncated,
+		Interrupted:   ds.interrupted,
+		CancelReturns: ds.cretTotal,
 	}
 	if ds.idx != nil {
 		out.AutocompleteSize = ds.idx.Size()
 	}
 	lat := make([]time.Duration, ds.latN)
 	copy(lat, ds.lat[:ds.latN])
+	cret := make([]time.Duration, ds.cretN)
+	copy(cret, ds.cret[:ds.cretN])
 	ds.m.Unlock()
 
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	out.P50 = percentile(lat, 0.50)
 	out.P95 = percentile(lat, 0.95)
+	sort.Slice(cret, func(i, j int) bool { return cret[i] < cret[j] })
+	out.CancelP50 = percentile(cret, 0.50)
+	out.CancelP99 = percentile(cret, 0.99)
 
 	joins := ds.cache.Joins()
 	ps := joins.Stats()

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -34,11 +35,15 @@ type JoinCache struct {
 	pc pipelineCounters
 }
 
-// joinEntry is one memoized join: the sync.Once gates materialization so
+// joinEntry is one memoized join. The entry lock gates materialization so
 // that concurrent first requests for a signature compute the join once and
-// everyone else blocks until it is ready.
+// everyone else blocks until it is ready. Unlike a sync.Once, a transient
+// failure — the computing request was cancelled, hit its deadline, or drew
+// an injected fault — leaves the entry unfilled, so the cache is never
+// poisoned by one request's fate and the next healthy request recomputes.
 type joinEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	rel  *relation
 	err  error
 }
@@ -94,8 +99,11 @@ func joinSig(jp *sqlir.JoinPath) string {
 	return strings.Join(tables, ",") + "|" + strings.Join(edges, "&")
 }
 
-// materialize returns the (cached) joined relation for a path.
-func (c *JoinCache) materialize(jp *sqlir.JoinPath) (*relation, error) {
+// materialize returns the (cached) joined relation for a path. Waiters for
+// an in-flight materialization block on the entry lock; the holder's context
+// governs the computation, and if it dies mid-join each waiter retries under
+// its own context rather than inheriting the failure.
+func (c *JoinCache) materialize(ctx context.Context, jp *sqlir.JoinPath) (*relation, error) {
 	sig := joinSig(jp)
 	c.mu.Lock()
 	e, ok := c.m[sig]
@@ -104,7 +112,18 @@ func (c *JoinCache) materialize(jp *sqlir.JoinPath) (*relation, error) {
 		c.m[sig] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.rel, e.err = c.build(jp) })
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		rel, err := c.build(ctx, jp)
+		if err != nil && transientErr(err) {
+			// This request's fate, not the join's: report it to the caller
+			// but leave the entry unfilled for the next request.
+			return nil, err
+		}
+		e.rel, e.err = rel, err
+		e.done = true
+	}
 	return e.rel, e.err
 }
 
@@ -113,15 +132,15 @@ func (c *JoinCache) materialize(jp *sqlir.JoinPath) (*relation, error) {
 // by one edge to probe A⋈B⋈C instead of re-joining the whole path. Edgeless
 // or malformed paths go through the reference join, which also reproduces
 // its error messages.
-func (c *JoinCache) build(jp *sqlir.JoinPath) (*relation, error) {
+func (c *JoinCache) build(ctx context.Context, jp *sqlir.JoinPath) (*relation, error) {
 	if jp == nil || len(jp.Tables) == 0 || len(jp.Edges) == 0 {
 		c.pc.add(&c.pc.joinsBuilt, 1)
-		return join(c.db, jp)
+		return join(ctx, c.db, jp)
 	}
 	pes, _, oerr := orientEdges(c.db, jp)
 	if oerr != nil {
 		c.pc.add(&c.pc.joinsBuilt, 1)
-		return join(c.db, jp) // malformed; join reports the reference error
+		return join(ctx, c.db, jp) // malformed; join reports the reference error
 	}
 	last := jp.Edges[len(jp.Edges)-1]
 	lastTable := pes[len(pes)-1].b
@@ -134,19 +153,26 @@ func (c *JoinCache) build(jp *sqlir.JoinPath) (*relation, error) {
 	c.mu.Lock()
 	_, had := c.m[joinSig(prefix)]
 	c.mu.Unlock()
-	prel, err := c.materialize(prefix)
+	prel, err := c.materialize(ctx, prefix)
 	if err != nil {
 		return nil, err
 	}
 	if had {
 		c.pc.add(&c.pc.prefixHits, 1)
 	}
-	return extendRelation(c.db, prel, last)
+	return extendRelation(ctx, c.db, prel, last)
 }
 
 // Exists is Exists through the streaming pipeline, with this cache's
 // counters and its memoized joins backing the materializing fallback.
 func (c *JoinCache) Exists(eq ExistsQuery) (bool, error) {
+	return c.ExistsCtx(context.Background(), eq)
+}
+
+// ExistsCtx is the cache-backed Exists under a request context.
+func (c *JoinCache) ExistsCtx(ctx context.Context, eq ExistsQuery) (bool, error) {
 	c.validate()
-	return existsWith(c.db, eq, &c.pc, c.materialize)
+	return existsWith(ctx, c.db, eq, &c.pc, func(jp *sqlir.JoinPath) (*relation, error) {
+		return c.materialize(ctx, jp)
+	})
 }

@@ -6,6 +6,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,35 +34,49 @@ type relation struct {
 
 // Execute runs a complete query and materializes its result.
 func Execute(db *storage.Database, q *sqlir.Query) (*Result, error) {
+	return ExecuteCtx(context.Background(), db, q)
+}
+
+// ExecuteCtx is Execute under a request context: join, filter, and grouping
+// loops poll ctx at checkpoint boundaries and unwind with ctx.Err().
+func ExecuteCtx(ctx context.Context, db *storage.Database, q *sqlir.Query) (*Result, error) {
 	if q == nil || !q.Complete() {
 		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
 	}
-	rel, err := join(db, q.From)
+	rel, err := join(ctx, db, q.From)
 	if err != nil {
 		return nil, err
 	}
-	return executeOn(db, rel, q)
+	return executeOn(ctx, db, rel, q)
 }
 
-// ExecuteCached runs a complete query reusing the cache's materialized join.
+// Execute runs a complete query reusing the cache's materialized join.
 func (c *JoinCache) Execute(q *sqlir.Query) (*Result, error) {
+	return c.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is the cache-backed Execute under a request context. The
+// materialization itself is shared across requests, so a cancelled
+// materialization is not stored (see materialize).
+func (c *JoinCache) ExecuteCtx(ctx context.Context, q *sqlir.Query) (*Result, error) {
 	if q == nil || !q.Complete() {
 		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
 	}
 	c.validate()
-	rel, err := c.materialize(q.From)
+	rel, err := c.materialize(ctx, q.From)
 	if err != nil {
 		return nil, err
 	}
-	return executeOn(c.db, rel, q)
+	return executeOn(ctx, c.db, rel, q)
 }
 
 // executeOn evaluates a complete query over a pre-joined relation.
-func executeOn(db *storage.Database, rel *relation, q *sqlir.Query) (*Result, error) {
-	rows, err := filter(db, rel, q.Where, q.WhereState)
+func executeOn(ctx context.Context, db *storage.Database, rel *relation, q *sqlir.Query) (*Result, error) {
+	rows, err := filter(ctx, db, rel, q.Where, q.WhereState)
 	if err != nil {
 		return nil, err
 	}
+	cc := newCanceller(ctx)
 
 	needsGroup := q.GroupByState == sqlir.ClausePresent || q.HasAggregate() ||
 		(q.OrderByState == sqlir.ClausePresent && q.OrderBy.Key.Agg != sqlir.AggNone)
@@ -88,6 +103,9 @@ func executeOn(db *storage.Database, rel *relation, q *sqlir.Query) (*Result, er
 			return nil, err
 		}
 		for _, g := range groups {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			if q.HavingState == sqlir.ClausePresent {
 				hv, err := evalAggregate(db, rel, g, q.Having.Agg, q.Having.Col)
 				if err != nil {
@@ -116,6 +134,9 @@ func executeOn(db *storage.Database, rel *relation, q *sqlir.Query) (*Result, er
 		}
 	} else {
 		for _, tp := range rows {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			r := outRow{}
 			for _, s := range q.Select {
 				v, err := colValue(db, rel, tp, s.Col)
@@ -177,7 +198,7 @@ func executeOn(db *storage.Database, rel *relation, q *sqlir.Query) (*Result, er
 
 // join materializes the join path into a relation of joined tuples using
 // hash joins on the FK-PK edges.
-func join(db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
+func join(ctx context.Context, db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
 	if jp == nil || len(jp.Tables) == 0 {
 		return nil, fmt.Errorf("sqlexec: empty join path")
 	}
@@ -194,7 +215,7 @@ func join(db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
 	}
 	for _, e := range jp.Edges {
 		var err error
-		rel, err = extendRelation(db, rel, e)
+		rel, err = extendRelation(ctx, db, rel, e)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +226,7 @@ func join(db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
 // extendRelation joins one more FK-PK edge onto a relation, probing the
 // incoming table's persistent hash index. It returns a new relation and
 // leaves the input untouched, so cached join prefixes can be shared.
-func extendRelation(db *storage.Database, rel *relation, e sqlir.JoinEdge) (*relation, error) {
+func extendRelation(ctx context.Context, db *storage.Database, rel *relation, e sqlir.JoinEdge) (*relation, error) {
 	var existing, incoming string
 	if _, ok := rel.slots[e.FromTable]; ok {
 		existing, incoming = e.FromTable, e.ToTable
@@ -246,12 +267,22 @@ func extendRelation(db *storage.Database, rel *relation, e sqlir.JoinEdge) (*rel
 	next.slots[incoming] = slot
 	exSlot := rel.slots[existing]
 	exRows := rel.tables[exSlot]
+	cc := newCanceller(ctx)
 	for _, tp := range rel.tuples {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		v := exRows.Row(int(tp[exSlot]))[exIdx]
 		if v.IsNull() {
 			continue
 		}
+		// Tick per output tuple too: a fanning-out edge can append many
+		// rows per input tuple, and the checkpoint cadence must follow the
+		// work actually done, not the rows scanned.
 		for _, m := range index[v] {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			ext := make(tuple, len(tp)+1)
 			copy(ext, tp)
 			ext[slot] = m
@@ -276,12 +307,16 @@ func colValue(db *storage.Database, rel *relation, tp tuple, c sqlir.ColumnRef) 
 }
 
 // filter applies the WHERE clause.
-func filter(db *storage.Database, rel *relation, w sqlir.Where, state sqlir.ClauseState) ([]tuple, error) {
+func filter(ctx context.Context, db *storage.Database, rel *relation, w sqlir.Where, state sqlir.ClauseState) ([]tuple, error) {
 	if state != sqlir.ClausePresent || len(w.Preds) == 0 {
 		return rel.tuples, nil
 	}
 	var out []tuple
+	cc := newCanceller(ctx)
 	for _, tp := range rel.tuples {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		ok, err := evalWhere(db, rel, tp, w)
 		if err != nil {
 			return nil, err

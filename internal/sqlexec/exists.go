@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/duoquest/duoquest/internal/sqlir"
@@ -29,15 +30,21 @@ type ExistsQuery struct {
 // pipeline cannot compile fall back to materialize-then-filter, which is
 // also kept as the reference oracle for differential tests.
 func Exists(db *storage.Database, eq ExistsQuery) (bool, error) {
-	return existsWith(db, eq, nil, func(jp *sqlir.JoinPath) (*relation, error) {
-		return join(db, jp)
+	return ExistsCtx(context.Background(), db, eq)
+}
+
+// ExistsCtx is Exists under a request context: probe and row loops poll ctx
+// at checkpoint boundaries and unwind with ctx.Err() when it is done.
+func ExistsCtx(ctx context.Context, db *storage.Database, eq ExistsQuery) (bool, error) {
+	return existsWith(ctx, db, eq, nil, func(jp *sqlir.JoinPath) (*relation, error) {
+		return join(ctx, db, jp)
 	})
 }
 
 // existsWith runs the shared Exists driver: predicate completeness checks,
 // the streaming fast path, then the materializing fallback provided by the
 // caller (a fresh join, or a JoinCache materialization).
-func existsWith(db *storage.Database, eq ExistsQuery, pc *pipelineCounters, materialize func(*sqlir.JoinPath) (*relation, error)) (bool, error) {
+func existsWith(ctx context.Context, db *storage.Database, eq ExistsQuery, pc *pipelineCounters, materialize func(*sqlir.JoinPath) (*relation, error)) (bool, error) {
 	if pc == nil {
 		pc = &discardCounters
 	}
@@ -51,7 +58,7 @@ func existsWith(db *storage.Database, eq ExistsQuery, pc *pipelineCounters, mate
 			return false, errIncomplete(p)
 		}
 	}
-	if ok, handled, err := streamExists(db, eq, pc); handled {
+	if ok, handled, err := streamExists(ctx, db, eq, pc); handled {
 		pc.add(&pc.streamed, 1)
 		return ok, err
 	}
@@ -60,7 +67,7 @@ func existsWith(db *storage.Database, eq ExistsQuery, pc *pipelineCounters, mate
 	if err != nil {
 		return false, err
 	}
-	return existsOn(db, rel, eq)
+	return existsOn(ctx, db, rel, eq)
 }
 
 func errIncomplete(p sqlir.Predicate) error {
@@ -68,12 +75,16 @@ func errIncomplete(p sqlir.Predicate) error {
 }
 
 // existsOn evaluates an exists query against a pre-materialized relation.
-func existsOn(db *storage.Database, rel *relation, eq ExistsQuery) (bool, error) {
+func existsOn(ctx context.Context, db *storage.Database, rel *relation, eq ExistsQuery) (bool, error) {
 	w := sqlir.Where{Conj: eq.Conj, ConjSet: true, Preds: eq.Preds, CountSet: true}
 	wAnd := sqlir.Where{Conj: sqlir.LogicAnd, ConjSet: true, Preds: eq.AndPreds, CountSet: true}
+	cc := newCanceller(ctx)
 
 	// match evaluates WHERE (Preds by Conj) AND (AndPreds conjoined).
 	match := func(tp tuple) (bool, error) {
+		if err := cc.tick(); err != nil {
+			return false, err
+		}
 		if len(eq.Preds) > 0 {
 			ok, err := evalWhere(db, rel, tp, w)
 			if err != nil || !ok {

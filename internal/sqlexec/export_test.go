@@ -1,6 +1,8 @@
 package sqlexec
 
 import (
+	"context"
+
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/storage"
 )
@@ -19,7 +21,7 @@ type ReferenceRelation struct {
 // MaterializeReference materializes a join path through the reference
 // executor.
 func MaterializeReference(db *storage.Database, jp *sqlir.JoinPath) (*ReferenceRelation, error) {
-	rel, err := join(db, jp)
+	rel, err := join(context.Background(), db, jp)
 	if err != nil {
 		return nil, err
 	}
@@ -29,14 +31,14 @@ func MaterializeReference(db *storage.Database, jp *sqlir.JoinPath) (*ReferenceR
 // ExistsOnReference scans a pre-materialized join for a witness, exactly as
 // the pre-streaming executor did.
 func (r *ReferenceRelation) ExistsOnReference(eq ExistsQuery) (bool, error) {
-	return existsOn(r.db, r.rel, eq)
+	return existsOn(context.Background(), r.db, r.rel, eq)
 }
 
 // ExistsStreaming answers through the vectorized columnar streaming
 // pipeline only. handled=false means the probe did not compile and would
 // fall back to the materializing path.
 func ExistsStreaming(db *storage.Database, eq ExistsQuery) (ok, handled bool, err error) {
-	return streamExists(db, eq, &discardCounters)
+	return streamExists(context.Background(), db, eq, &discardCounters)
 }
 
 // ExistsRowStream answers through the preserved pre-columnar row-based
@@ -59,9 +61,9 @@ func ExistsReference(db *storage.Database, eq ExistsQuery) (bool, error) {
 			return false, errIncomplete(p)
 		}
 	}
-	rel, err := join(db, eq.From)
+	rel, err := join(context.Background(), db, eq.From)
 	if err != nil {
 		return false, err
 	}
-	return existsOn(db, rel, eq)
+	return existsOn(context.Background(), db, rel, eq)
 }

@@ -1,0 +1,98 @@
+package sqlexec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// wideDB builds a parent/child pair whose join materializes well past the
+// cancellation checkpoint granularity, so a dead request context is
+// guaranteed to be noticed mid-build.
+func wideDB(t *testing.T) *storage.Database {
+	t.Helper()
+	parent := storage.NewTable("parent", "pid",
+		storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+	)
+	child := storage.NewTable("child", "cid",
+		storage.Column{Name: "cid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "pid", Type: sqlir.TypeNumber},
+		storage.Column{Name: "v", Type: sqlir.TypeNumber},
+	)
+	s := storage.NewSchema(parent, child)
+	s.AddForeignKey("child", "pid", "parent", "pid")
+	const parents, children = 8, 4 * checkpointRows
+	for i := 0; i < parents; i++ {
+		parent.MustInsert(num(float64(i)), text("p"))
+	}
+	for i := 0; i < children; i++ {
+		child.MustInsert(num(float64(i)), num(float64(i%parents)), num(float64(i)))
+	}
+	return storage.NewDatabase("wide", s)
+}
+
+// TestCancelledRequestDoesNotPoisonJoinCache: a request that dies mid-join
+// must report its own cancellation, and the shared JoinCache must not memoize
+// that fate — the next healthy request over the same join path recomputes and
+// gets the full answer.
+func TestCancelledRequestDoesNotPoisonJoinCache(t *testing.T) {
+	db := wideDB(t)
+	q := sqlparse.MustParse(db.Schema,
+		"SELECT parent.name FROM parent JOIN child ON child.pid = parent.pid")
+	want, err := Execute(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewJoinCache(db)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecuteCtx(dead, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteCtx under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	res, err := c.Execute(q)
+	if err != nil {
+		t.Fatalf("healthy Execute after cancelled one: %v", err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("healthy Execute returned %d rows, want %d (cache poisoned?)",
+			len(res.Rows), len(want.Rows))
+	}
+}
+
+// TestExpiredDeadlineDoesNotPoisonJoinCache is the deadline-expiry twin: the
+// error surfaces as DeadlineExceeded and is equally never memoized.
+func TestExpiredDeadlineDoesNotPoisonJoinCache(t *testing.T) {
+	db := wideDB(t)
+	q := sqlparse.MustParse(db.Schema,
+		"SELECT parent.name FROM parent JOIN child ON child.pid = parent.pid")
+
+	c := NewJoinCache(db)
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := c.ExecuteCtx(expired, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ExecuteCtx under expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+
+	eq := ExistsQuery{
+		From:  pathOf("child"),
+		Preds: []sqlir.Predicate{pred("child", "v", sqlir.OpEq, num(-1))},
+	}
+	if _, err := c.ExistsCtx(expired, eq); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ExistsCtx under expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+	ok, err := c.Exists(eq)
+	if err != nil {
+		t.Fatalf("healthy Exists after expired one: %v", err)
+	}
+	if ok {
+		t.Fatal("Exists found a row that is not there")
+	}
+}

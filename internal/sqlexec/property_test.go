@@ -1,6 +1,8 @@
 package sqlexec
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -332,7 +334,7 @@ func TestPropColumnarRowReferenceAgree(t *testing.T) {
 		for i := 0; i < 150; i++ {
 			eq := randomColumnarExists(r)
 
-			colOK, colHandled, colErr := streamExists(db, eq, &discardCounters)
+			colOK, colHandled, colErr := streamExists(context.Background(), db, eq, &discardCounters)
 			rowOK, rowHandled, rowErr := rowStreamExists(db, eq, &discardCounters)
 
 			if colHandled != rowHandled {
@@ -434,7 +436,7 @@ func TestPropNaNComparisonSemantics(t *testing.T) {
 				}},
 			}
 			refOK, refErr := ExistsReference(db, eq)
-			colOK, colHandled, colErr := streamExists(db, eq, &discardCounters)
+			colOK, colHandled, colErr := streamExists(context.Background(), db, eq, &discardCounters)
 			rowOK, rowHandled, rowErr := rowStreamExists(db, eq, &discardCounters)
 			if refErr != nil || colErr != nil || rowErr != nil {
 				t.Fatalf("op %s val %s: errors ref=%v col=%v row=%v", op, val, refErr, colErr, rowErr)

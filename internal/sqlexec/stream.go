@@ -16,12 +16,14 @@
 package sqlexec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"strconv"
 	"sync/atomic"
 
+	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/storage"
 )
@@ -471,9 +473,14 @@ func (p *streamPlan) bindPred(pr sqlir.Predicate) (boundPred, error) {
 // run enumerates joined tuples depth-first, evaluating each bound predicate
 // at the shallowest depth where its slot is bound. emit returning stop=true
 // short-circuits the whole enumeration (the first-witness early exit).
-func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool, err error)) error {
+// Every visited row and every probed posting ticks a cancellation
+// checkpoint, so a cancelled request unwinds mid-scan within
+// checkpointRows units of work; inj (nil for clean requests) injects
+// per-probe latency for the chaos harness.
+func (p *streamPlan) run(ctx context.Context, inj *faultinject.Injector, pc *pipelineCounters, emit func(tp []int32) (stop bool, err error)) error {
 	tp := make([]int32, len(p.tables))
 	var probes int64
+	cc := newCanceller(ctx)
 
 	check := func(depth int) bool {
 		for i := range p.predsAt[depth] {
@@ -502,12 +509,18 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 			return emit(tp)
 		}
 		step := &p.steps[depth-1]
+		if inj != nil {
+			faultinject.Sleep(ctx, inj.ProbeDelay())
+		}
 		postings, ok := step.postings(tp[step.probeSlot])
 		if !ok {
 			return false, nil
 		}
 		probes++
 		for _, ri := range postings {
+			if err := cc.tick(); err != nil {
+				return false, err
+			}
 			tp[depth] = ri
 			if !check(depth) {
 				continue
@@ -521,6 +534,9 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 	}
 
 	visit := func(ri int32) (bool, error) {
+		if err := cc.tick(); err != nil {
+			return false, err
+		}
 		tp[0] = ri
 		if !check(0) {
 			return false, nil
@@ -529,6 +545,9 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 	}
 
 	defer func() { pc.add(&pc.indexProbes, probes) }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if p.seeded {
 		for _, ri := range p.rootRows {
 			if stop, err := visit(ri); stop || err != nil {
@@ -551,24 +570,25 @@ func (p *streamPlan) run(pc *pipelineCounters, emit func(tp []int32) (stop bool,
 // shape); the caller must fall back to the materializing path, which
 // reproduces the reference behavior — including its error messages —
 // exactly.
-func streamExists(db *storage.Database, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
+func streamExists(ctx context.Context, db *storage.Database, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
 	grouped := len(eq.GroupBy) > 0 || len(eq.Havings) > 0
 	plan, perr := buildStreamPlan(db, eq, !grouped)
 	if perr != nil {
 		return false, false, nil
 	}
+	inj := faultinject.From(ctx)
 	if !grouped {
 		if plan.seeded {
 			pc.add(&pc.indexSeeds, 1)
 		}
 		found := false
-		rerr := plan.run(pc, func([]int32) (bool, error) {
+		rerr := plan.run(ctx, inj, pc, func([]int32) (bool, error) {
 			found = true
 			return true, nil
 		})
 		return found, true, rerr
 	}
-	ok, handled, err = streamGroupedExists(plan, eq, pc)
+	ok, handled, err = streamGroupedExists(ctx, inj, plan, eq, pc)
 	if handled && plan.seeded {
 		// Counted only once the probe is actually streamed, so fallbacks
 		// (e.g. unsupported HAVING shapes) don't inflate pushdown coverage.
@@ -654,7 +674,7 @@ func checkGroupHavings(order []*groupState, refs []sqlir.ColumnRef, colAt map[sq
 // accumulation order match the materializing path bit for bit. Group keys
 // are fixed-width binary encodings of the typed cells (dictionary code or
 // float bits), not formatted strings.
-func streamGroupedExists(plan *streamPlan, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
+func streamGroupedExists(ctx context.Context, inj *faultinject.Injector, plan *streamPlan, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
 	type keyCol struct {
 		slot int
 		vec  *storage.ColumnVec
@@ -789,7 +809,7 @@ func streamGroupedExists(plan *streamPlan, eq ExistsQuery, pc *pipelineCounters)
 		}
 	}
 
-	rerr := plan.run(pc, func(tp []int32) (bool, error) {
+	rerr := plan.run(ctx, inj, pc, func(tp []int32) (bool, error) {
 		st := getState(tp)
 		st.rows++
 		for i := range cols {

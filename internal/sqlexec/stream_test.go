@@ -1,6 +1,8 @@
 package sqlexec
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -47,11 +49,11 @@ func TestGroupedSumOverTextLazyError(t *testing.T) {
 	// COUNT(*) > 100 fails every group first: SUM(name) is never evaluated,
 	// so neither path may error.
 	eq := ExistsQuery{From: path, GroupBy: group, Havings: []sqlir.HavingExpr{countStar(sqlir.OpGt, 100), sumName}}
-	refRel, err := join(db, path)
+	refRel, err := join(context.Background(), db, path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	refOK, refErr := existsOn(db, refRel, eq)
+	refOK, refErr := existsOn(context.Background(), db, refRel, eq)
 	gotOK, gotErr := Exists(db, eq)
 	if refErr != nil || gotErr != nil {
 		t.Fatalf("short-circuited SUM must not error: ref=%v stream=%v", refErr, gotErr)
@@ -63,7 +65,7 @@ func TestGroupedSumOverTextLazyError(t *testing.T) {
 	// COUNT(*) >= 1 passes, so SUM(name) is evaluated: both paths must
 	// report the same non-numeric error.
 	eq.Havings = []sqlir.HavingExpr{countStar(sqlir.OpGe, 1), sumName}
-	_, refErr = existsOn(db, refRel, eq)
+	_, refErr = existsOn(context.Background(), db, refRel, eq)
 	_, gotErr = Exists(db, eq)
 	if refErr == nil || gotErr == nil {
 		t.Fatalf("evaluated SUM over text must error: ref=%v stream=%v", refErr, gotErr)

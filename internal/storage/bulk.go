@@ -9,7 +9,9 @@ package storage
 
 import (
 	"fmt"
+	"time"
 
+	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/sqlir"
 )
 
@@ -70,6 +72,11 @@ func (c ColumnData) rows(typ sqlir.Type) (int, bool) {
 // On validation error nothing is appended. Like Insert, BulkAppend must not
 // run concurrently with queries on the same table.
 func (t *Table) BulkAppend(cols []ColumnData) error {
+	// Chaos seam: the ingest path has no request context, so stalls come
+	// from the process-global injector (nil in production — one atomic load).
+	if d := faultinject.Global().IngestStall(); d > 0 {
+		time.Sleep(d)
+	}
 	if len(cols) != len(t.Columns) {
 		return fmt.Errorf("storage: table %s: bulk append has %d columns, want %d", t.Name, len(cols), len(t.Columns))
 	}

@@ -17,10 +17,13 @@
 package verify
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
+	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/semrules"
 	"github.com/duoquest/duoquest/internal/sqlexec"
 	"github.com/duoquest/duoquest/internal/sqlir"
@@ -101,8 +104,11 @@ type Verifier struct {
 // boolMemo memoizes a keyed boolean computation under fixed-size hashed
 // keys (see keys.go — no per-lookup string building). Concurrent first
 // lookups of a key share one computation: the loser of the map race blocks
-// on the winner's sync.Once instead of re-running the (possibly expensive
-// database) check.
+// on the winner's entry lock instead of re-running the (possibly expensive
+// database) check. A transient failure — the computing request was
+// cancelled, expired, or drew an injected fault — is reported to its caller
+// but never memoized, so a shared memo cannot replay one request's fate to
+// later, healthy requests.
 type boolMemo struct {
 	mu   sync.Mutex
 	m    map[memoKey]*boolEntry
@@ -110,15 +116,24 @@ type boolMemo struct {
 }
 
 type boolEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	val  bool
 	err  error
 }
 
+// transient reports whether err reflects one request's fate (cancellation,
+// deadline expiry, injected fault) rather than a property of the database.
+func transient(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		faultinject.IsInjected(err)
+}
+
 // do returns the memoized value for key, computing it at most once across
-// all callers. hit reports whether the entry already existed. sig renders
-// the pre-hash canonical string; it is only invoked when the debug
-// collision cross-check is on.
+// all callers. hit reports whether a previously computed entry answered the
+// call. sig renders the pre-hash canonical string; it is only invoked when
+// the debug collision cross-check is on.
 func (bm *boolMemo) do(key memoKey, sig func() string, f func() (bool, error)) (val, hit bool, err error) {
 	if memoKeyDebugEnabled() {
 		bm.checkKeyCollision(key, sig())
@@ -133,8 +148,18 @@ func (bm *boolMemo) do(key memoKey, sig func() string, f func() (bool, error)) (
 		bm.m[key] = e
 	}
 	bm.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = f() })
-	return e.val, ok, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return e.val, ok, e.err
+	}
+	val, err = f()
+	if err != nil && transient(err) {
+		// Leave the entry uncomputed for the next request.
+		return false, false, err
+	}
+	e.val, e.err, e.done = val, err, true
+	return e.val, false, e.err
 }
 
 // Cache is the per-database shared verification state: the prefix-sharing
@@ -239,10 +264,20 @@ func (v *Verifier) countDBQuery() {
 
 // Verify runs the full cascade of Algorithm 3 on a partial query.
 func (v *Verifier) Verify(q *sqlir.Query) (Outcome, error) {
+	return v.VerifyCtx(context.Background(), q)
+}
+
+// VerifyCtx is Verify under a request context: the database-touching stages
+// poll ctx through the executor's cancellation checkpoints and unwind with
+// ctx.Err() when the request is cancelled or past its deadline.
+func (v *Verifier) VerifyCtx(ctx context.Context, q *sqlir.Query) (Outcome, error) {
 	v.statsMu.Lock()
 	v.stats.Checked++
 	v.statsMu.Unlock()
-	out, err := v.verify(q)
+	if err := faultinject.From(ctx).VerifyError(); err != nil {
+		return Outcome{}, err
+	}
+	out, err := v.verify(ctx, q)
 	if err != nil {
 		return out, err
 	}
@@ -254,7 +289,7 @@ func (v *Verifier) Verify(q *sqlir.Query) (Outcome, error) {
 	return out, nil
 }
 
-func (v *Verifier) verify(q *sqlir.Query) (Outcome, error) {
+func (v *Verifier) verify(ctx context.Context, q *sqlir.Query) (Outcome, error) {
 	if out := v.verifyClauses(q); !out.OK {
 		return out, nil
 	}
@@ -264,12 +299,12 @@ func (v *Verifier) verify(q *sqlir.Query) (Outcome, error) {
 	if out := v.verifyColumnTypes(q); !out.OK {
 		return out, nil
 	}
-	out, err := v.verifyByColumn(q)
+	out, err := v.verifyByColumn(ctx, q)
 	if err != nil || !out.OK {
 		return out, err
 	}
 	if v.canCheckRows(q) {
-		out, err = v.verifyByRow(q)
+		out, err = v.verifyByRow(ctx, q)
 		if err != nil || !out.OK {
 			return out, err
 		}
@@ -278,7 +313,7 @@ func (v *Verifier) verify(q *sqlir.Query) (Outcome, error) {
 		if out := v.verifyLiterals(q); !out.OK {
 			return out, nil
 		}
-		out, err = v.verifyByOrder(q)
+		out, err = v.verifyByOrder(ctx, q)
 		if err != nil || !out.OK {
 			return out, err
 		}
@@ -366,7 +401,7 @@ func (v *Verifier) verifyColumnTypes(q *sqlir.Query) Outcome {
 // example tuples (Example 3.5): the cell value (or range) must occur in the
 // projected column's own table. COUNT and SUM projections are skipped; AVG
 // is checked against the column's min/max range.
-func (v *Verifier) verifyByColumn(q *sqlir.Query) (Outcome, error) {
+func (v *Verifier) verifyByColumn(ctx context.Context, q *sqlir.Query) (Outcome, error) {
 	if v.sketch == nil || len(v.sketch.Tuples) == 0 {
 		return pass(), nil
 	}
@@ -387,7 +422,7 @@ func (v *Verifier) verifyByColumn(q *sqlir.Query) (Outcome, error) {
 			if cell.Kind == tsq.CellEmpty {
 				continue
 			}
-			ok, err := v.columnCellCheck(s.Agg, s.Col, cell)
+			ok, err := v.columnCellCheck(ctx, s.Agg, s.Col, cell)
 			if err != nil {
 				return pass(), err
 			}
@@ -403,7 +438,7 @@ func (v *Verifier) verifyByColumn(q *sqlir.Query) (Outcome, error) {
 // columnCellCheck answers "does any value of col satisfy cell", memoized
 // under a hashed fixed-size key (the debug closure renders the
 // pre-refactor string key for the collision cross-check).
-func (v *Verifier) columnCellCheck(agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) (bool, error) {
+func (v *Verifier) columnCellCheck(ctx context.Context, agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) (bool, error) {
 	key := columnCellKey(agg == sqlir.AggAvg, col, cell)
 	sig := func() string { return fmt.Sprintf("%v|%s|%s", agg == sqlir.AggAvg, col, cell) }
 	ok, hit, err := v.colCache.do(key, sig, func() (bool, error) {
@@ -420,7 +455,7 @@ func (v *Verifier) columnCellCheck(agg sqlir.AggFunc, col sqlir.ColumnRef, cell 
 		// values: run SELECT 1 FROM t WHERE <cell constraint> LIMIT 1.
 		preds := cellPredicates(col, cell)
 		v.countDBQuery()
-		return v.joins.Exists(sqlexec.ExistsQuery{
+		return v.joins.ExistsCtx(ctx, sqlexec.ExistsQuery{
 			From:  &sqlir.JoinPath{Tables: []string{col.Table}},
 			Conj:  sqlir.LogicAnd,
 			Preds: preds,
@@ -527,7 +562,7 @@ func (v *Verifier) canCheckRows(q *sqlir.Query) bool {
 // query's own predicates whenever doing so is sound (AND semantics), and
 // drops them otherwise so the check runs against a superset — a failure
 // then still soundly prunes every completion.
-func (v *Verifier) verifyByRow(q *sqlir.Query) (Outcome, error) {
+func (v *Verifier) verifyByRow(ctx context.Context, q *sqlir.Query) (Outcome, error) {
 	basePreds, baseConj := soundPredicates(q)
 	var baseHavings []sqlir.HavingExpr
 	if q.GroupByState == sqlir.ClausePresent && q.HavingState == sqlir.ClausePresent &&
@@ -581,7 +616,7 @@ func (v *Verifier) verifyByRow(q *sqlir.Query) (Outcome, error) {
 		key := existsKey(eq)
 		ok, _, err := v.rowCache.do(key, func() string { return existsSig(eq) }, func() (bool, error) {
 			v.countDBQuery()
-			return v.joins.Exists(eq)
+			return v.joins.ExistsCtx(ctx, eq)
 		})
 		if err != nil {
 			return pass(), err
@@ -708,12 +743,12 @@ func (v *Verifier) verifyLiterals(q *sqlir.Query) Outcome {
 // satisfaction — Definition 2.4's distinct matching, ordering (when τ=⊤ and
 // at least two tuples exist), and row limit. This is the final soundness
 // gate: every emitted candidate satisfies the TSQ.
-func (v *Verifier) verifyByOrder(q *sqlir.Query) (Outcome, error) {
+func (v *Verifier) verifyByOrder(ctx context.Context, q *sqlir.Query) (Outcome, error) {
 	if v.sketch == nil {
 		return pass(), nil
 	}
 	v.countDBQuery()
-	res, err := v.joins.Execute(q)
+	res, err := v.joins.ExecuteCtx(ctx, q)
 	if err != nil {
 		return pass(), err
 	}
