@@ -39,9 +39,13 @@ bench-sqlexec:
 # workloads through the preserved pre-refactor row-based streaming pipeline
 # and the vectorized columnar pipeline (flat, grouped, and the MAS
 # end-to-end verification workload), with in-benchmark three-way
-# equivalence self-checks against the materializing reference.
+# equivalence self-checks against the materializing reference. The
+# BenchmarkMorsel* family rides along at a lower -benchtime (the 300k/1M-row
+# sweep databases make each iteration expensive): the morsel fan-out at
+# explicit worker counts, each configuration equivalence-checked against the
+# single-threaded columnar pipeline before timing.
 bench-storage:
-	@go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkColumnar' -benchtime 20x -benchmem > bench.out; \
+	@{ go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkColumnar' -benchtime 20x -benchmem && go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkMorsel' -benchtime 3x -benchmem; } > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_storage.json < bench.out; \

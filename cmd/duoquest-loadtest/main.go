@@ -52,6 +52,8 @@ type config struct {
 	sweep      string
 	sweepProbe int
 	short      bool
+	qworkers   int
+	morselSize int
 
 	// chaos mode (see chaos.go): replaces the normal phases.
 	chaos       bool
@@ -83,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&cfg.sweep, "sweep", "10000,30000,100000", "comma-separated row counts for the verification scale sweep (empty disables)")
 	fs.IntVar(&cfg.sweepProbe, "sweep-probes", 100, "verification probes per sweep scale")
 	fs.BoolVar(&cfg.short, "short", false, "CI mode: shrink requests and sweep so the run finishes in seconds")
+	fs.IntVar(&cfg.qworkers, "query-workers", 0, "engine-wide intra-query morsel workers per scan (0 = follow engine workers, 1 = single-threaded scans)")
+	fs.IntVar(&cfg.morselSize, "morsel-size", 0, "scan rows per morsel (0 = executor default 4096; rounded up to 64)")
 	fs.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: clean reference pass, mixed faulty/clean traffic with an equivalence gate, then a cancel-to-return sweep (replaces the normal phases)")
 	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 7, "fault-schedule seed (same seed, same faults)")
 	fs.StringVar(&cfg.cancelSweep, "cancel-sweep", "10000,100000,300000", "comma-separated row counts for the chaos cancel-to-return sweep")
@@ -150,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxCandidates: cfg.maxCand,
 		Workers:       1, // sessions are the unit of parallelism here
 		MaxInFlight:   cfg.workers,
+		// Morsel parallelism is engine config only: there is no per-request
+		// knob, matching the server's deployment model.
+		QueryParallelism: cfg.qworkers,
+		MorselSize:       cfg.morselSize,
 	})
 	if err := eng.Register(g.DB); err != nil {
 		return err

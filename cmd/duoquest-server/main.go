@@ -56,6 +56,8 @@ func main() {
 		maxDeadline = flag.Duration("max-deadline", 30*time.Second, "upper clamp on ?deadline_ms= requests (0 = no clamp)")
 		topk        = flag.Int("k", 10, "max candidates per request")
 		workers     = flag.Int("workers", 0, "verification workers per request (0 = GOMAXPROCS, 1 = sequential)")
+		qworkers    = flag.Int("query-workers", 0, "intra-query morsel workers per scan (0 = follow -workers, 1 = single-threaded scans)")
+		morsel      = flag.Int("morsel-size", 0, "scan rows per morsel (0 = executor default 4096; rounded up to 64)")
 		defaultDB   = flag.String("db", "mas", "default database for requests without ?db=")
 		maxInFlight = flag.Int("max-inflight", 8, "max concurrently running syntheses (0 = unbounded)")
 		maxQueue    = flag.Int("max-queue", 64, "max queued syntheses before 503 (0 = unbounded)")
@@ -72,6 +74,8 @@ func main() {
 		duoquest.WithMaxDeadline(*maxDeadline),
 		duoquest.WithMaxCandidates(*topk),
 		duoquest.WithWorkers(*workers),
+		duoquest.WithQueryParallelism(*qworkers),
+		duoquest.WithMorselSize(*morsel),
 		duoquest.WithMaxInFlight(*maxInFlight),
 		duoquest.WithMaxQueue(*maxQueue),
 	)
@@ -485,6 +489,11 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		JoinsBuilt     int64   `json:"joins_built"`
 		PrefixHitRate  float64 `json:"prefix_hit_rate"`
 		StreamedRate   float64 `json:"streamed_rate"`
+		// Morsel-driven scan parallelism (0 everywhere when disabled).
+		MorselRuns       int64   `json:"morsel_runs"`
+		Morsels          int64   `json:"morsels"`
+		AvgMorselWorkers float64 `json:"avg_morsel_workers"`
+		MorselEfficiency float64 `json:"morsel_efficiency"`
 	}
 	type dictJSON struct {
 		Table   string `json:"table"`
@@ -584,6 +593,11 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 				JoinsBuilt:     d.Cache.Pipeline.JoinsBuilt,
 				PrefixHitRate:  d.Cache.PrefixHitRate,
 				StreamedRate:   d.Cache.StreamedRate,
+
+				MorselRuns:       d.Cache.Pipeline.MorselRuns,
+				Morsels:          d.Cache.Pipeline.Morsels,
+				AvgMorselWorkers: d.Cache.AvgMorselWorkers,
+				MorselEfficiency: d.Cache.MorselEfficiency,
 			},
 			Storage: sto,
 		})

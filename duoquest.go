@@ -173,6 +173,8 @@ type config struct {
 	maxCandidates   int
 	maxStates       int
 	workers         int
+	queryWorkers    int
+	morselSize      int
 	maxInFlight     int
 	maxQueue        int
 }
@@ -180,18 +182,20 @@ type config struct {
 // options converts the config to the service layer's form.
 func (c config) options() service.Options {
 	return service.Options{
-		Model:           c.model,
-		Rules:           c.rules,
-		NoRules:         c.rules == nil,
-		Mode:            c.mode,
-		Budget:          c.budget,
-		DefaultDeadline: c.defaultDeadline,
-		MaxDeadline:     c.maxDeadline,
-		MaxCandidates:   c.maxCandidates,
-		MaxStates:       c.maxStates,
-		Workers:         c.workers,
-		MaxInFlight:     c.maxInFlight,
-		MaxQueue:        c.maxQueue,
+		Model:            c.model,
+		Rules:            c.rules,
+		NoRules:          c.rules == nil,
+		Mode:             c.mode,
+		Budget:           c.budget,
+		DefaultDeadline:  c.defaultDeadline,
+		MaxDeadline:      c.maxDeadline,
+		MaxCandidates:    c.maxCandidates,
+		MaxStates:        c.maxStates,
+		Workers:          c.workers,
+		QueryParallelism: c.queryWorkers,
+		MorselSize:       c.morselSize,
+		MaxInFlight:      c.maxInFlight,
+		MaxQueue:         c.maxQueue,
 	}
 }
 
@@ -241,6 +245,21 @@ func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
 // sequential engine's. 0 (the default) uses runtime.GOMAXPROCS(0); 1
 // verifies inline on the search goroutine.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithQueryParallelism bounds intra-query morsel parallelism: the workers
+// (caller included) a single scan, join probe, or grouped aggregation may
+// recruit from the engine's shared token pool. 0 (the default) follows
+// WithWorkers; 1 disables morsel parallelism and runs every query on the
+// single-threaded columnar path. Morsel fan-out and verification workers
+// share one token budget, so total parallelism stays capped at
+// max(workers, query parallelism); parallel results are bit-identical to
+// the single-threaded path (deterministic morsel-order merges).
+func WithQueryParallelism(n int) Option { return func(c *config) { c.queryWorkers = n } }
+
+// WithMorselSize sets the scan rows per morsel for intra-query parallelism
+// (0, the default, uses the executor's 4096). Values are normalized up to
+// the storage engine's 64-row null-bitmap word alignment.
+func WithMorselSize(n int) Option { return func(c *config) { c.morselSize = n } }
 
 // WithMaxInFlight bounds concurrently running syntheses (0, the default,
 // is unbounded). Excess requests wait in an admission queue.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/duoquest/duoquest/internal/faultinject"
+	"github.com/duoquest/duoquest/internal/sqlexec"
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/verify"
 )
@@ -54,8 +55,20 @@ type verifyPool struct {
 // newVerifyPool starts n workers verifying against v. Workers exit when the
 // pool is closed; a cancelled context makes them report cancellation
 // instead of verifying, so a cancelled search drains quickly.
+//
+// When the context carries the engine's shared sqlexec.WorkerPool, each
+// worker holds one of its tokens for the duration of a verification job
+// (advisory, via TryAcquire — verification itself never blocks on the
+// pool). A held token shrinks what the morsel fan-out inside that very
+// verification can additionally recruit, so inter-state parallelism and
+// intra-query morsel parallelism draw on one budget: with a full expansion
+// batch in flight every token is held here and probes run sequentially;
+// with a single state in flight its probes can fan out across the idle
+// tokens — either way total parallelism stays capped at the engine's
+// Workers setting.
 func newVerifyPool(ctx context.Context, v *verify.Verifier, n int) *verifyPool {
 	p := &verifyPool{jobs: make(chan verifyJob)}
+	shared := sqlexec.PoolFrom(ctx)
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
@@ -65,7 +78,11 @@ func newVerifyPool(ctx context.Context, v *verify.Verifier, n int) *verifyPool {
 					j.out <- verifyResult{idx: j.idx, cancelled: true}
 					continue
 				}
+				held := shared.TryAcquire()
 				out, err := v.VerifyCtx(ctx, j.q)
+				if held {
+					shared.Release()
+				}
 				if transientErr(err) {
 					// The request was cancelled (or faulted) mid-check: the
 					// partial outcome is meaningless, report cancellation.

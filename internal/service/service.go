@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,19 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = verify inline).
 	Workers int
 
+	// QueryParallelism bounds intra-query morsel parallelism: the workers
+	// (caller included) one scan, join probe, or grouped aggregation may
+	// use. 0 = the resolved Workers count, 1 = disable morsel parallelism
+	// entirely (single-threaded execution, the pre-morsel engine). The
+	// engine's token pool is shared between verification workers and morsel
+	// fan-out, so total parallelism stays capped at
+	// max(Workers, QueryParallelism) regardless of how requests overlap.
+	QueryParallelism int
+	// MorselSize is the scan rows per morsel (0 = the executor default,
+	// 4096). Values are normalized to the null-bitmap word alignment via
+	// storage.AlignMorselSize.
+	MorselSize int
+
 	// DefaultDeadline is the per-request wall-clock budget applied when a
 	// request does not carry its own (0 = none). Unlike Budget — which the
 	// enumerator checks between states — the deadline rides the request
@@ -119,6 +133,14 @@ type Engine struct {
 	model guidance.Model
 	rules *semrules.RuleSet
 
+	// pool is the shared execution-token pool behind morsel-driven
+	// intra-query parallelism (nil when QueryParallelism is 1 or the engine
+	// is effectively single-threaded — execution then takes the sequential
+	// code paths untouched). Enumeration verify workers hold its tokens
+	// per job, so verification fan-out and morsel fan-out share one budget.
+	pool       *sqlexec.WorkerPool
+	morselSize int
+
 	// sem holds one token per running synthesis when MaxInFlight > 0.
 	sem      chan struct{}
 	inFlight atomic.Int64
@@ -134,6 +156,7 @@ type Engine struct {
 // dbState is the shared per-database state, built once and borrowed by
 // every request against that database.
 type dbState struct {
+	eng   *Engine
 	db    *storage.Database
 	cache *verify.Cache
 
@@ -175,7 +198,38 @@ func NewEngine(opts Options) *Engine {
 	if opts.MaxInFlight > 0 {
 		e.sem = make(chan struct{}, opts.MaxInFlight)
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	qp := opts.QueryParallelism
+	if qp <= 0 {
+		qp = workers
+	}
+	total := workers
+	if qp > total {
+		total = qp
+	}
+	if qp > 1 && total > 1 {
+		e.pool = sqlexec.NewWorkerPool(total, qp)
+	}
+	if opts.MorselSize > 0 {
+		e.morselSize = storage.AlignMorselSize(opts.MorselSize)
+	}
 	return e
+}
+
+// execCtx arms a request context for query execution: the shared worker
+// pool (when morsel parallelism is enabled) and the engine's morsel size.
+func (e *Engine) execCtx(ctx context.Context) context.Context {
+	if e.pool == nil {
+		return ctx
+	}
+	ctx = sqlexec.WithPool(ctx, e.pool)
+	if e.morselSize > 0 {
+		ctx = sqlexec.WithMorselSize(ctx, e.morselSize)
+	}
+	return ctx
 }
 
 // Register adds a database to the engine's registry and builds its shared
@@ -190,6 +244,7 @@ func (e *Engine) Register(db *storage.Database) error {
 		return fmt.Errorf("service: database %q already registered", db.Name)
 	}
 	e.dbs[db.Name] = &dbState{
+		eng:   e,
 		db:    db,
 		cache: verify.NewCache(db),
 		lat:   make([]time.Duration, e.opts.LatencyWindow),
@@ -314,6 +369,10 @@ func (s *Session) SynthesizeStream(ctx context.Context, in Input, emit func(enum
 		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
+	// Arm morsel-driven execution after the deadline is attached, so morsel
+	// workers inherit the expiring context through their per-morsel derived
+	// contexts and unwind at the executor's cancellation checkpoints.
+	ctx = s.eng.execCtx(ctx)
 	// Fault seam: a request marked faulty may draw a forced cancellation —
 	// the chaos harness's client-disconnect simulation.
 	if delay, forced := faultinject.From(ctx).RequestCancel(); forced {
@@ -402,6 +461,7 @@ func (s *Session) Exists(eq sqlexec.ExistsQuery) (bool, error) {
 // fault-marked context (see internal/faultinject) draws its injected probe
 // latency here.
 func (s *Session) ExistsCtx(ctx context.Context, eq sqlexec.ExistsQuery) (bool, error) {
+	ctx = s.eng.execCtx(ctx)
 	if s.eng.opts.PerRequestCaches {
 		return sqlexec.ExistsCtx(ctx, s.ds.db, eq)
 	}
@@ -415,10 +475,11 @@ func (s *Session) ExistsCtx(ctx context.Context, eq sqlexec.ExistsQuery) (bool, 
 func (s *Session) Preview(q *sqlir.Query, maxRows int) (*sqlexec.Result, error) {
 	var res *sqlexec.Result
 	var err error
+	ctx := s.eng.execCtx(context.Background())
 	if s.eng.opts.PerRequestCaches {
-		res, err = sqlexec.Execute(s.ds.db, q)
+		res, err = sqlexec.ExecuteCtx(ctx, s.ds.db, q)
 	} else {
-		res, err = s.ds.cache.Joins().Execute(q)
+		res, err = s.ds.cache.Joins().ExecuteCtx(ctx, q)
 	}
 	if err != nil {
 		return nil, err

@@ -21,6 +21,15 @@ type CacheStats struct {
 	// StreamedRate is StreamedExists / (StreamedExists + FallbackExists):
 	// the share of existence probes served by the streaming pipeline.
 	StreamedRate float64
+	// AvgMorselWorkers is the mean workers per morsel-parallel scan (caller
+	// included) — 0 when morsel parallelism is disabled or no scan fanned
+	// out yet.
+	AvgMorselWorkers float64
+	// MorselEfficiency is AvgMorselWorkers over the engine's per-query
+	// parallelism cap: 1.0 means every fanned-out scan got its full worker
+	// complement, lower values mean the shared pool was contended (tokens
+	// held by enumeration verify workers).
+	MorselEfficiency float64
 }
 
 // DictStats describes one text column's dictionary: how many distinct
@@ -127,10 +136,14 @@ func (ds *dbState) snapshot() DBStats {
 	joins := ds.cache.Joins()
 	ps := joins.Stats()
 	out.Cache = CacheStats{
-		JoinPaths:     joins.Size(),
-		Pipeline:      ps,
-		PrefixHitRate: ratio(ps.PrefixHits, ps.PrefixHits+ps.JoinsBuilt),
-		StreamedRate:  ratio(ps.StreamedExists, ps.StreamedExists+ps.FallbackExists),
+		JoinPaths:        joins.Size(),
+		Pipeline:         ps,
+		PrefixHitRate:    ratio(ps.PrefixHits, ps.PrefixHits+ps.JoinsBuilt),
+		StreamedRate:     ratio(ps.StreamedExists, ps.StreamedExists+ps.FallbackExists),
+		AvgMorselWorkers: ps.AvgMorselWorkers(),
+	}
+	if pq := ds.eng.pool.PerQuery(); pq > 0 && out.Cache.AvgMorselWorkers > 0 {
+		out.Cache.MorselEfficiency = out.Cache.AvgMorselWorkers / float64(pq)
 	}
 	out.Storage = storageStats(ds.db)
 	return out

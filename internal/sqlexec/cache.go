@@ -135,12 +135,12 @@ func (c *JoinCache) materialize(ctx context.Context, jp *sqlir.JoinPath) (*relat
 func (c *JoinCache) build(ctx context.Context, jp *sqlir.JoinPath) (*relation, error) {
 	if jp == nil || len(jp.Tables) == 0 || len(jp.Edges) == 0 {
 		c.pc.add(&c.pc.joinsBuilt, 1)
-		return join(ctx, c.db, jp)
+		return join(ctx, c.db, jp, &c.pc)
 	}
 	pes, _, oerr := orientEdges(c.db, jp)
 	if oerr != nil {
 		c.pc.add(&c.pc.joinsBuilt, 1)
-		return join(ctx, c.db, jp) // malformed; join reports the reference error
+		return join(ctx, c.db, jp, &c.pc) // malformed; join reports the reference error
 	}
 	last := jp.Edges[len(jp.Edges)-1]
 	lastTable := pes[len(pes)-1].b
@@ -160,7 +160,7 @@ func (c *JoinCache) build(ctx context.Context, jp *sqlir.JoinPath) (*relation, e
 	if had {
 		c.pc.add(&c.pc.prefixHits, 1)
 	}
-	return extendRelation(ctx, c.db, prel, last)
+	return extendRelation(ctx, c.db, prel, last, &c.pc)
 }
 
 // Exists is Exists through the streaming pipeline, with this cache's

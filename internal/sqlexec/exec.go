@@ -43,11 +43,11 @@ func ExecuteCtx(ctx context.Context, db *storage.Database, q *sqlir.Query) (*Res
 	if q == nil || !q.Complete() {
 		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
 	}
-	rel, err := join(ctx, db, q.From)
+	rel, err := join(ctx, db, q.From, &discardCounters)
 	if err != nil {
 		return nil, err
 	}
-	return executeOn(ctx, db, rel, q)
+	return executeOn(ctx, db, rel, q, &discardCounters)
 }
 
 // Execute runs a complete query reusing the cache's materialized join.
@@ -67,12 +67,16 @@ func (c *JoinCache) ExecuteCtx(ctx context.Context, q *sqlir.Query) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return executeOn(ctx, c.db, rel, q)
+	return executeOn(ctx, c.db, rel, q, &c.pc)
 }
 
-// executeOn evaluates a complete query over a pre-joined relation.
-func executeOn(ctx context.Context, db *storage.Database, rel *relation, q *sqlir.Query) (*Result, error) {
-	rows, err := filter(ctx, db, rel, q.Where, q.WhereState)
+// executeOn evaluates a complete query over a pre-joined relation. The
+// WHERE filter runs morsel-parallel when the context carries a pool; the
+// group/aggregate/order loop below stays sequential — its interleaved
+// HAVING and select-aggregate evaluation order is part of the reference
+// error semantics, and after filtering it touches only group-sized data.
+func executeOn(ctx context.Context, db *storage.Database, rel *relation, q *sqlir.Query, pc *pipelineCounters) (*Result, error) {
+	rows, err := filter(ctx, db, rel, q.Where, q.WhereState, pc)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +202,7 @@ func executeOn(ctx context.Context, db *storage.Database, rel *relation, q *sqli
 
 // join materializes the join path into a relation of joined tuples using
 // hash joins on the FK-PK edges.
-func join(ctx context.Context, db *storage.Database, jp *sqlir.JoinPath) (*relation, error) {
+func join(ctx context.Context, db *storage.Database, jp *sqlir.JoinPath, pc *pipelineCounters) (*relation, error) {
 	if jp == nil || len(jp.Tables) == 0 {
 		return nil, fmt.Errorf("sqlexec: empty join path")
 	}
@@ -215,7 +219,7 @@ func join(ctx context.Context, db *storage.Database, jp *sqlir.JoinPath) (*relat
 	}
 	for _, e := range jp.Edges {
 		var err error
-		rel, err = extendRelation(ctx, db, rel, e)
+		rel, err = extendRelation(ctx, db, rel, e, pc)
 		if err != nil {
 			return nil, err
 		}
@@ -225,8 +229,11 @@ func join(ctx context.Context, db *storage.Database, jp *sqlir.JoinPath) (*relat
 
 // extendRelation joins one more FK-PK edge onto a relation, probing the
 // incoming table's persistent hash index. It returns a new relation and
-// leaves the input untouched, so cached join prefixes can be shared.
-func extendRelation(ctx context.Context, db *storage.Database, rel *relation, e sqlir.JoinEdge) (*relation, error) {
+// leaves the input untouched, so cached join prefixes can be shared. With a
+// pool in the context the probe loop fans out over morsels of the input
+// tuples; per-morsel output slices are concatenated in morsel order, so the
+// materialized tuple order is identical to the sequential probe.
+func extendRelation(ctx context.Context, db *storage.Database, rel *relation, e sqlir.JoinEdge, pc *pipelineCounters) (*relation, error) {
 	var existing, incoming string
 	if _, ok := rel.slots[e.FromTable]; ok {
 		existing, incoming = e.FromTable, e.ToTable
@@ -267,28 +274,64 @@ func extendRelation(ctx context.Context, db *storage.Database, rel *relation, e 
 	next.slots[incoming] = slot
 	exSlot := rel.slots[existing]
 	exRows := rel.tables[exSlot]
-	cc := newCanceller(ctx)
-	for _, tp := range rel.tuples {
-		if err := cc.tick(); err != nil {
-			return nil, err
-		}
-		v := exRows.Row(int(tp[exSlot]))[exIdx]
-		if v.IsNull() {
-			continue
-		}
-		// Tick per output tuple too: a fanning-out edge can append many
-		// rows per input tuple, and the checkpoint cadence must follow the
-		// work actually done, not the rows scanned.
-		for _, m := range index[v] {
+
+	// probeRange extends one range of input tuples into a private output
+	// slice. Tick per output tuple too: a fanning-out edge can append many
+	// rows per input tuple, and the checkpoint cadence must follow the work
+	// actually done, not the rows scanned.
+	probeRange := func(ctx context.Context, lo, hi int) ([]tuple, error) {
+		cc := newCanceller(ctx)
+		var out []tuple
+		for _, tp := range rel.tuples[lo:hi] {
 			if err := cc.tick(); err != nil {
 				return nil, err
 			}
-			ext := make(tuple, len(tp)+1)
-			copy(ext, tp)
-			ext[slot] = m
-			next.tuples = append(next.tuples, ext)
+			v := exRows.Row(int(tp[exSlot]))[exIdx]
+			if v.IsNull() {
+				continue
+			}
+			for _, m := range index[v] {
+				if err := cc.tick(); err != nil {
+					return nil, err
+				}
+				ext := make(tuple, len(tp)+1)
+				copy(ext, tp)
+				ext[slot] = m
+				out = append(out, ext)
+			}
+		}
+		return out, nil
+	}
+
+	if pool := PoolFrom(ctx); pool != nil {
+		morsels := storage.Morsels(len(rel.tuples), MorselSizeFrom(ctx))
+		if len(morsels) >= 2 {
+			parts := make([][]tuple, len(morsels))
+			res := runMorsels(ctx, pool, morsels, func(mctx context.Context, m int) (bool, error) {
+				out, perr := probeRange(mctx, morsels[m].Lo, morsels[m].Hi)
+				parts[m] = out
+				return false, perr
+			})
+			pc.addMorselRun(res)
+			if res.err != nil {
+				return nil, res.err
+			}
+			total := 0
+			for _, p := range parts {
+				total += len(p)
+			}
+			next.tuples = make([]tuple, 0, total)
+			for _, p := range parts {
+				next.tuples = append(next.tuples, p...)
+			}
+			return next, nil
 		}
 	}
+	out, err := probeRange(ctx, 0, len(rel.tuples))
+	if err != nil {
+		return nil, err
+	}
+	next.tuples = out
 	return next, nil
 }
 
@@ -306,26 +349,53 @@ func colValue(db *storage.Database, rel *relation, tp tuple, c sqlir.ColumnRef) 
 	return tbl.Row(int(tp[slot]))[ci], nil
 }
 
-// filter applies the WHERE clause.
-func filter(ctx context.Context, db *storage.Database, rel *relation, w sqlir.Where, state sqlir.ClauseState) ([]tuple, error) {
+// filter applies the WHERE clause. With a pool in the context the predicate
+// loop fans out over morsels of the input tuples; per-morsel keep-lists are
+// concatenated in morsel order, so the surviving tuples appear in exactly
+// the sequential scan's order (grouping and ORDER BY downstream see
+// bit-identical input).
+func filter(ctx context.Context, db *storage.Database, rel *relation, w sqlir.Where, state sqlir.ClauseState, pc *pipelineCounters) ([]tuple, error) {
 	if state != sqlir.ClausePresent || len(w.Preds) == 0 {
 		return rel.tuples, nil
 	}
-	var out []tuple
-	cc := newCanceller(ctx)
-	for _, tp := range rel.tuples {
-		if err := cc.tick(); err != nil {
-			return nil, err
+	filterRange := func(ctx context.Context, lo, hi int) ([]tuple, error) {
+		var out []tuple
+		cc := newCanceller(ctx)
+		for _, tp := range rel.tuples[lo:hi] {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
+			ok, err := evalWhere(db, rel, tp, w)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, tp)
+			}
 		}
-		ok, err := evalWhere(db, rel, tp, w)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, tp)
+		return out, nil
+	}
+	if pool := PoolFrom(ctx); pool != nil {
+		morsels := storage.Morsels(len(rel.tuples), MorselSizeFrom(ctx))
+		if len(morsels) >= 2 {
+			parts := make([][]tuple, len(morsels))
+			res := runMorsels(ctx, pool, morsels, func(mctx context.Context, m int) (bool, error) {
+				out, ferr := filterRange(mctx, morsels[m].Lo, morsels[m].Hi)
+				parts[m] = out
+				return false, ferr
+			})
+			pc.addMorselRun(res)
+			if res.err != nil {
+				return nil, res.err
+			}
+			var out []tuple
+			for _, p := range parts {
+				out = append(out, p...)
+			}
+			return out, nil
 		}
 	}
-	return out, nil
+	return filterRange(ctx, 0, len(rel.tuples))
 }
 
 // evalWhere evaluates the flat conjunction/disjunction on one tuple.

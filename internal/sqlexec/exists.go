@@ -37,7 +37,7 @@ func Exists(db *storage.Database, eq ExistsQuery) (bool, error) {
 // at checkpoint boundaries and unwind with ctx.Err() when it is done.
 func ExistsCtx(ctx context.Context, db *storage.Database, eq ExistsQuery) (bool, error) {
 	return existsWith(ctx, db, eq, nil, func(jp *sqlir.JoinPath) (*relation, error) {
-		return join(ctx, db, jp)
+		return join(ctx, db, jp, &discardCounters)
 	})
 }
 

@@ -21,7 +21,7 @@ type ReferenceRelation struct {
 // MaterializeReference materializes a join path through the reference
 // executor.
 func MaterializeReference(db *storage.Database, jp *sqlir.JoinPath) (*ReferenceRelation, error) {
-	rel, err := join(context.Background(), db, jp)
+	rel, err := join(context.Background(), db, jp, &discardCounters)
 	if err != nil {
 		return nil, err
 	}
@@ -61,9 +61,25 @@ func ExistsReference(db *storage.Database, eq ExistsQuery) (bool, error) {
 			return false, errIncomplete(p)
 		}
 	}
-	rel, err := join(context.Background(), db, eq.From)
+	rel, err := join(context.Background(), db, eq.From, &discardCounters)
 	if err != nil {
 		return false, err
 	}
 	return existsOn(context.Background(), db, rel, eq)
+}
+
+// ExistsMorsel answers through the morsel-parallel columnar pipeline with an
+// explicit worker count and morsel size — the hook the differential and
+// property tests drive at morsel sizes down to a single row. handled=false
+// means the probe did not compile (same shapes as ExistsStreaming).
+func ExistsMorsel(db *storage.Database, eq ExistsQuery, workers, morselSize int) (ok, handled bool, err error) {
+	ctx := WithMorselSize(WithPool(context.Background(), NewWorkerPool(workers, 0)), morselSize)
+	return streamExists(ctx, db, eq, &discardCounters)
+}
+
+// ExistsMorselCtx is ExistsMorsel under a caller context (cancellation and
+// poison tests derive deadlines and carry fault injectors).
+func ExistsMorselCtx(ctx context.Context, db *storage.Database, eq ExistsQuery, workers, morselSize int) (ok, handled bool, err error) {
+	ctx = WithMorselSize(WithPool(ctx, NewWorkerPool(workers, 0)), morselSize)
+	return streamExists(ctx, db, eq, &discardCounters)
 }

@@ -20,10 +20,18 @@ import (
 // pipeline (all probes must compile — no silent fallback in the sweep) and
 // the materializing reference.
 
-// sweepRows are the swept scales. 1M-row sweeps run locally via
-// cmd/duoquest-loadtest -scale large; keeping the recorded sweep at ≤300k
-// bounds `make bench-loadgen` to a few seconds.
+// sweepRows are the swept scales. The 1M scale is skipped under -short so
+// CI's quick path stays fast; `make bench-loadgen` (no -short) records the
+// full curve including 1M into BENCH_loadgen.json.
 var sweepRows = []int{10_000, 30_000, 100_000, 300_000}
+
+// sweepScales appends the 1M scale outside -short runs.
+func sweepScales() []int {
+	if testing.Short() {
+		return sweepRows
+	}
+	return append(append([]int{}, sweepRows...), 1_000_000)
+}
 
 var (
 	sweepMu  sync.Mutex
@@ -46,7 +54,7 @@ func sweepDB(b *testing.B, rows int) *loadgen.Generated {
 }
 
 func BenchmarkLoadgenVerifySweep(b *testing.B) {
-	for _, rows := range sweepRows {
+	for _, rows := range sweepScales() {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			g := sweepDB(b, rows)
 			probes := g.Probes(100, 2)

@@ -1,0 +1,279 @@
+// Morsel-driven intra-query parallelism. One query's scan domain (a table's
+// rows or a pushdown posting list) is partitioned into fixed-size morsels
+// (storage.Morsels); workers claim morsels in ascending order off a shared
+// cursor, evaluate the compiled plan over their morsel with fully private
+// state, and the per-morsel outcomes are resolved in morsel order — so the
+// parallel run's answer, error, and (for grouped probes, see morselgroup.go)
+// accumulation order are bit-identical to the single-threaded scan, which
+// remains the differential oracle.
+//
+// Parallelism is elastic and never blocking: the caller always works, and
+// extra workers are recruited only by TryAcquire on the engine's bounded
+// WorkerPool — the same pool whose tokens the enumeration verify workers
+// hold while verifying (internal/enumerate), so total parallelism across
+// inter-state verification and intra-query morsels stays capped at the
+// engine's Workers setting. A pool-less context (PoolFrom == nil) runs the
+// pre-existing sequential code paths untouched.
+package sqlexec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// DefaultMorselSize is the scan rows per morsel when the context does not
+// carry an explicit size. 4096 rows (64 null-bitmap words) is large enough
+// that the per-morsel claim/cancel bookkeeping amortizes below the cost of
+// scanning the morsel, and small enough that a 300k-row scan still splits
+// into ~73 units of work for the pool to balance.
+const DefaultMorselSize = 64 * storage.MorselAlign
+
+// WorkerPool is a bounded semaphore of execution tokens shared by everything
+// that parallelizes on behalf of one engine: enumeration verify workers hold
+// a token per verification job, and morsel fan-out recruits extra scan
+// workers one token at a time. Acquisition never blocks (TryAcquire), so the
+// pool throttles parallelism without ever deadlocking or delaying the
+// caller's own progress. A nil *WorkerPool is valid everywhere and always
+// declines tokens.
+type WorkerPool struct {
+	sem      chan struct{}
+	perQuery int
+}
+
+// NewWorkerPool builds a pool with n tokens (n <= 0 means GOMAXPROCS).
+// perQuery caps the workers one morsel run may use, caller included;
+// perQuery <= 0 or > n means no per-query cap beyond the pool itself.
+func NewWorkerPool(n, perQuery int) *WorkerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if perQuery <= 0 || perQuery > n {
+		perQuery = n
+	}
+	return &WorkerPool{sem: make(chan struct{}, n), perQuery: perQuery}
+}
+
+// Cap is the pool's total token count (0 for a nil pool).
+func (p *WorkerPool) Cap() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.sem)
+}
+
+// PerQuery is the per-morsel-run worker cap, caller included.
+func (p *WorkerPool) PerQuery() int {
+	if p == nil {
+		return 1
+	}
+	return p.perQuery
+}
+
+// TryAcquire takes a token if one is free, never blocking.
+func (p *WorkerPool) TryAcquire() bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken by TryAcquire.
+func (p *WorkerPool) Release() {
+	if p == nil {
+		return
+	}
+	<-p.sem
+}
+
+type poolCtxKey struct{}
+type morselSizeCtxKey struct{}
+
+// WithPool attaches the engine's worker pool to a request context; execution
+// paths opt into morsel parallelism only when a pool is present.
+func WithPool(ctx context.Context, p *WorkerPool) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, poolCtxKey{}, p)
+}
+
+// PoolFrom returns the context's worker pool, or nil (sequential execution).
+func PoolFrom(ctx context.Context) *WorkerPool {
+	p, _ := ctx.Value(poolCtxKey{}).(*WorkerPool)
+	return p
+}
+
+// WithMorselSize overrides the scan rows per morsel for this request.
+// Any size >= 1 is honored (tests partition at 1 and 7 to stress the merge
+// path); operator-facing flags normalize through storage.AlignMorselSize.
+func WithMorselSize(ctx context.Context, size int) context.Context {
+	if size < 1 {
+		return ctx
+	}
+	return context.WithValue(ctx, morselSizeCtxKey{}, size)
+}
+
+// MorselSizeFrom returns the context's morsel size, or DefaultMorselSize.
+func MorselSizeFrom(ctx context.Context) int {
+	if n, ok := ctx.Value(morselSizeCtxKey{}).(int); ok {
+		return n
+	}
+	return DefaultMorselSize
+}
+
+// morselResult is one fan-out's resolved outcome plus its stats.
+type morselResult struct {
+	found     bool  // a witness was found (flat-exists mode)
+	err       error // the decisive error, resolved in morsel order
+	workers   int   // workers that participated, caller included
+	processed int64 // morsels actually claimed and run
+}
+
+// morselRun coordinates one fan-out: a shared ascending claim cursor,
+// per-morsel outcome slots (each written by exactly one worker), and the
+// "decided" watermark — the lowest morsel index whose outcome short-circuits
+// the run (a witness, or an error). Claims above the watermark are skipped
+// and in-flight morsels above it are cancelled through their per-morsel
+// contexts, which the scan loops poll via the cancel.go checkpoints; morsels
+// BELOW the watermark always finish, because sequential semantics demand
+// that the first decisive event in row order wins (an error in morsel 2
+// beats a witness in morsel 5, and vice versa).
+type morselRun struct {
+	morsels []storage.Morsel
+	next    atomic.Int64
+	decided atomic.Int64
+	claimed atomic.Int64
+	found   []bool
+	errs    []error
+
+	mu      sync.Mutex
+	cancels map[int]context.CancelFunc
+}
+
+// decide lowers the watermark to m and cancels in-flight morsels above it.
+func (r *morselRun) decide(m int) {
+	for {
+		cur := r.decided.Load()
+		if int64(m) >= cur {
+			return
+		}
+		if r.decided.CompareAndSwap(cur, int64(m)) {
+			break
+		}
+	}
+	r.mu.Lock()
+	d := r.decided.Load()
+	for idx, cancel := range r.cancels {
+		if int64(idx) > d {
+			cancel()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// worker claims and runs morsels until the domain or the watermark ends it.
+// work receives the morsel's derived context and index, and must keep all
+// mutable state private to that index.
+func (r *morselRun) worker(ctx context.Context, work func(ctx context.Context, m int) (bool, error)) {
+	for {
+		m := int(r.next.Add(1)) - 1
+		if m >= len(r.morsels) {
+			return
+		}
+		// Claims are ascending: once this claim is above the watermark,
+		// every later one is too.
+		if int64(m) > r.decided.Load() {
+			return
+		}
+		// Poll the request context once per claim: the per-morsel canceller
+		// only checkpoints every checkpointRows rows, so with morsels smaller
+		// than that a dead request would otherwise scan to completion.
+		if err := ctx.Err(); err != nil {
+			r.errs[m] = err
+			r.decide(m)
+			return
+		}
+		mctx, cancel := context.WithCancel(ctx)
+		r.mu.Lock()
+		if int64(m) > r.decided.Load() { // decided while registering
+			r.mu.Unlock()
+			cancel()
+			return
+		}
+		r.cancels[m] = cancel
+		r.mu.Unlock()
+		r.claimed.Add(1)
+		found, err := work(mctx, m)
+		r.mu.Lock()
+		delete(r.cancels, m)
+		r.mu.Unlock()
+		cancel()
+		r.found[m], r.errs[m] = found, err
+		if found || err != nil {
+			r.decide(m)
+		}
+	}
+}
+
+// resolve scans outcomes in morsel order and returns the first decisive one
+// — exactly the event the sequential scan would have hit first. Morsels
+// cancelled or skipped because of the watermark sit strictly above the
+// decisive index, so their (benign) context errors are never surfaced.
+func (r *morselRun) resolve() (bool, error) {
+	for m := range r.morsels {
+		if r.found[m] {
+			return true, nil
+		}
+		if err := r.errs[m]; err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// runMorsels fans work over the morsels: the caller works the cursor itself
+// and recruits up to PerQuery-1 extra workers by non-blocking pool token
+// acquisition, so a saturated pool degrades gracefully to a sequential
+// morsel walk rather than queuing.
+func runMorsels(ctx context.Context, pool *WorkerPool, morsels []storage.Morsel,
+	work func(ctx context.Context, m int) (bool, error)) morselResult {
+	r := &morselRun{
+		morsels: morsels,
+		found:   make([]bool, len(morsels)),
+		errs:    make([]error, len(morsels)),
+		cancels: make(map[int]context.CancelFunc),
+	}
+	r.decided.Store(int64(len(morsels))) // sentinel: nothing decided yet
+
+	maxExtra := len(morsels) - 1
+	if pq := pool.PerQuery() - 1; pq < maxExtra {
+		maxExtra = pq
+	}
+	extras := 0
+	for extras < maxExtra && pool.TryAcquire() {
+		extras++
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < extras; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pool.Release()
+			r.worker(ctx, work)
+		}()
+	}
+	r.worker(ctx, work)
+	wg.Wait()
+
+	found, err := r.resolve()
+	return morselResult{found: found, err: err, workers: extras + 1, processed: r.claimed.Load()}
+}

@@ -1,0 +1,224 @@
+// Morsel-parallel grouped existence. The deterministic-merge discipline:
+//
+//  1. Partition — each worker streams its morsel's matching tuples into a
+//     fully private morselPart: per-group row counts, and (only when a
+//     HAVING references a concrete column) the matching tuples flattened in
+//     visit order. Nothing is shared between workers, so a deadline-expired
+//     or witness-cancelled worker can abandon its part on the floor without
+//     any possibility of publishing a partial aggregate anywhere shared.
+//  2. Merge — partials are stitched together strictly in morsel order.
+//     Because morsel order is row order, a group's first appearance across
+//     the stitched sequence is its first appearance in the global scan, so
+//     group discovery order matches the sequential pipeline exactly; and a
+//     group's concatenated tuple buffers list its rows in global scan order.
+//  3. Fold — each merged group's tuples are folded through groupAcc
+//     sequentially. One group's accumulator state depends only on that
+//     group's rows in row order, so every float sum is the same additions
+//     in the same order as the single-threaded scan: bit-identical, not
+//     merely approximately equal.
+//
+// The COUNT(*)-only HAVING shape — the verification-probe hot path — never
+// buffers tuples at all: row counts are integers, and integer addition is
+// associative, so the merge is just a sum per group.
+package sqlexec
+
+import (
+	"context"
+	"math"
+
+	"github.com/duoquest/duoquest/internal/faultinject"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// morselGroup is one group's partial state private to one morsel worker.
+type morselGroup[K comparable] struct {
+	key    K
+	null   bool // the dedicated NULL-key group (single-column keys)
+	rows   int
+	tuples []int32 // matching tuples flattened in visit order; nil when the
+	// HAVINGs only need row counts
+}
+
+// morselPart is one morsel's private grouping state; order preserves
+// first-appearance order within the morsel.
+type morselPart[K comparable] struct {
+	byKey map[K]*morselGroup[K]
+	nullG *morselGroup[K]
+	order []*morselGroup[K]
+}
+
+// mergedGroup collects one group's partials across morsels, in morsel order.
+type mergedGroup[K comparable] struct {
+	parts []*morselGroup[K]
+}
+
+// runGroupedMorsels is the generic three-phase grouped pipeline over a key
+// type K (float bits, dictionary code, or the multi-column binary encoding).
+// newKeyFn builds a per-worker key extractor (workers must not share key
+// scratch buffers); the extractor's second result routes NULL cells to the
+// dedicated NULL group exactly as the sequential specializations do.
+func runGroupedMorsels[K comparable](ctx context.Context, inj *faultinject.Injector,
+	plan *streamPlan, eq ExistsQuery, gb groupedBinding, pc *pipelineCounters,
+	pool *WorkerPool, morsels []storage.Morsel,
+	newKeyFn func() func(tp []int32) (K, bool)) (ok, handled bool, err error) {
+
+	slots := len(plan.tables)
+	needTuples := len(gb.cols) > 0
+	parts := make([]*morselPart[K], len(morsels))
+
+	res := runMorsels(ctx, pool, morsels, func(mctx context.Context, m int) (bool, error) {
+		keyFn := newKeyFn()
+		part := &morselPart[K]{byKey: make(map[K]*morselGroup[K])}
+		parts[m] = part
+		_, rerr := plan.runRange(mctx, inj, pc, morsels[m].Lo, morsels[m].Hi, func(tp []int32) (bool, error) {
+			k, isNull := keyFn(tp)
+			var g *morselGroup[K]
+			if isNull {
+				if part.nullG == nil {
+					part.nullG = &morselGroup[K]{null: true}
+					part.order = append(part.order, part.nullG)
+				}
+				g = part.nullG
+			} else {
+				g = part.byKey[k]
+				if g == nil {
+					g = &morselGroup[K]{key: k}
+					part.byKey[k] = g
+					part.order = append(part.order, g)
+				}
+			}
+			g.rows++
+			if needTuples {
+				g.tuples = append(g.tuples, tp...)
+			}
+			return false, nil
+		})
+		return false, rerr
+	})
+	pc.addMorselRun(res)
+	if res.err != nil {
+		return false, true, res.err
+	}
+
+	// Merge in morsel order: global first-appearance group order.
+	var order []*mergedGroup[K]
+	byKey := make(map[K]*mergedGroup[K])
+	var nullM *mergedGroup[K]
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, g := range part.order {
+			var mg *mergedGroup[K]
+			if g.null {
+				if nullM == nil {
+					nullM = &mergedGroup[K]{}
+					order = append(order, nullM)
+				}
+				mg = nullM
+			} else {
+				mg = byKey[g.key]
+				if mg == nil {
+					mg = &mergedGroup[K]{}
+					byKey[g.key] = mg
+					order = append(order, mg)
+				}
+			}
+			mg.parts = append(mg.parts, g)
+		}
+	}
+
+	// Fold each merged group sequentially in global row order.
+	states := make([]*groupState, 0, len(order)+1)
+	if len(eq.GroupBy) == 0 && len(order) == 0 {
+		// SQL's implicit single group exists even over zero rows.
+		states = append(states, &groupState{accs: make([]groupAcc, len(gb.cols))})
+	}
+	for _, mg := range order {
+		st := &groupState{accs: make([]groupAcc, len(gb.cols))}
+		for _, g := range mg.parts {
+			st.rows += g.rows
+			for t := 0; t < len(g.tuples); t += slots {
+				tp := g.tuples[t : t+slots]
+				for i := range gb.cols {
+					st.accs[i].observe(gb.cols[i].vec.Value(int(tp[gb.cols[i].slot])))
+				}
+			}
+		}
+		states = append(states, st)
+	}
+	return checkGroupHavings(states, gb.refs, gb.colAt, eq)
+}
+
+// streamGroupedExistsMorsels dispatches a grouped existence probe to the
+// key-shape specialization, mirroring streamGroupedExists's getState
+// switch: implicit single group, single numeric key by float bits (NaN
+// canonicalized, -0 collapsed onto +0), single text key by dictionary code,
+// and the multi-column fixed-width binary encoding. Sub-morsel domains run
+// the sequential pipeline unchanged.
+func streamGroupedExistsMorsels(ctx context.Context, inj *faultinject.Injector,
+	plan *streamPlan, eq ExistsQuery, pc *pipelineCounters, pool *WorkerPool, msize int) (ok, handled bool, err error) {
+	gb, bok := bindGrouped(plan, eq)
+	if !bok {
+		return false, false, nil
+	}
+	morsels := storage.Morsels(plan.domainLen(), msize)
+	if len(morsels) < 2 {
+		return streamGroupedExists(ctx, inj, plan, eq, pc)
+	}
+	switch {
+	case len(eq.GroupBy) == 0:
+		return runGroupedMorsels(ctx, inj, plan, eq, gb, pc, pool, morsels,
+			func() func(tp []int32) (struct{}, bool) {
+				return func([]int32) (struct{}, bool) { return struct{}{}, false }
+			})
+	case len(gb.keys) == 1 && gb.keys[0].vec.Type() == sqlir.TypeNumber:
+		k := gb.keys[0]
+		nan := math.Float64bits(math.NaN())
+		return runGroupedMorsels(ctx, inj, plan, eq, gb, pc, pool, morsels,
+			func() func(tp []int32) (uint64, bool) {
+				return func(tp []int32) (uint64, bool) {
+					ri := int(tp[k.slot])
+					if k.vec.IsNull(ri) {
+						return 0, true
+					}
+					f := k.vec.Num(ri)
+					if f != f {
+						return nan, false // all NaNs share one group
+					}
+					if f == 0 {
+						f = 0 // collapse -0.0 onto +0.0, as Value.Equal does
+					}
+					return math.Float64bits(f), false
+				}
+			})
+	case len(gb.keys) == 1 && gb.keys[0].vec.Type() == sqlir.TypeText:
+		k := gb.keys[0]
+		return runGroupedMorsels(ctx, inj, plan, eq, gb, pc, pool, morsels,
+			func() func(tp []int32) (uint32, bool) {
+				return func(tp []int32) (uint32, bool) {
+					ri := int(tp[k.slot])
+					if k.vec.IsNull(ri) {
+						return 0, true
+					}
+					return k.vec.Code(ri), false
+				}
+			})
+	default:
+		keys := gb.keys
+		return runGroupedMorsels(ctx, inj, plan, eq, gb, pc, pool, morsels,
+			func() func(tp []int32) (string, bool) {
+				var buf []byte // worker-local: extractors never share scratch
+				return func(tp []int32) (string, bool) {
+					buf = buf[:0]
+					for _, k := range keys {
+						buf = appendVecKey(buf, k.vec, int(tp[k.slot]))
+					}
+					// NULL cells are part of the binary encoding ('z'),
+					// exactly as the sequential multi-column path groups them.
+					return string(buf), false
+				}
+			})
+	}
+}

@@ -96,3 +96,95 @@ func TestExpiredDeadlineDoesNotPoisonJoinCache(t *testing.T) {
 		t.Fatal("Exists found a row that is not there")
 	}
 }
+
+// morselCtx attaches a wide morsel fan-out with deliberately tiny morsels to
+// a request context, so many workers hold partial states when the request's
+// fate lands.
+func morselCtx(ctx context.Context) context.Context {
+	return WithMorselSize(WithPool(ctx, NewWorkerPool(8, 0)), 64)
+}
+
+// TestExpiredDeadlineMorselWorkersDoNotPoison extends the poison fixtures to
+// the morsel merge path: a deadline-expired request whose morsel workers are
+// holding private partial aggregate states must surface DeadlineExceeded,
+// and none of those partial states — nor the transient error itself — may
+// leak into the shared JoinCache. The same probes re-asked by healthy
+// requests (sequential and morsel-parallel alike) get full, correct answers.
+func TestExpiredDeadlineMorselWorkersDoNotPoison(t *testing.T) {
+	db := wideDB(t)
+	c := NewJoinCache(db)
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	// Flat witness probe (miss) and a grouped probe whose merge would
+	// accumulate per-morsel partial states across the child table.
+	flat := ExistsQuery{
+		From:  pathOf("child"),
+		Preds: []sqlir.Predicate{pred("child", "v", sqlir.OpEq, num(-1))},
+	}
+	grouped := ExistsQuery{
+		From:    pathOf("child"),
+		GroupBy: []sqlir.ColumnRef{{Table: "child", Column: "pid"}},
+		Havings: []sqlir.HavingExpr{{
+			Agg: sqlir.AggCount, AggSet: true, Col: sqlir.Star, ColSet: true,
+			Op: sqlir.OpGe, OpSet: true, Val: num(float64(checkpointRows / 4)), ValSet: true,
+		}},
+	}
+	for name, eq := range map[string]ExistsQuery{"flat": flat, "grouped": grouped} {
+		if _, err := c.ExistsCtx(morselCtx(expired), eq); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: ExistsCtx under expired deadline: err = %v, want DeadlineExceeded", name, err)
+		}
+	}
+
+	// Healthy requests over the same cache: sequential and morsel-parallel
+	// must both recompute and agree with the reference.
+	for name, eq := range map[string]ExistsQuery{"flat": flat, "grouped": grouped} {
+		want, err := ExistsReference(db, eq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Exists(eq)
+		if err != nil {
+			t.Fatalf("%s: healthy sequential Exists after expired one: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: sequential after expiry = %v, want %v (poisoned?)", name, got, want)
+		}
+		mgot, err := c.ExistsCtx(morselCtx(context.Background()), eq)
+		if err != nil {
+			t.Fatalf("%s: healthy morsel Exists after expired one: %v", name, err)
+		}
+		if mgot != want {
+			t.Fatalf("%s: morsel after expiry = %v, want %v (poisoned?)", name, mgot, want)
+		}
+	}
+}
+
+// TestCancelledMorselExecuteDoesNotPoisonJoinCache is the Execute-path twin:
+// a cancelled morsel-parallel materialization must not memoize a truncated
+// relation, and the next healthy morsel-parallel Execute sees every row.
+func TestCancelledMorselExecuteDoesNotPoisonJoinCache(t *testing.T) {
+	db := wideDB(t)
+	q := sqlparse.MustParse(db.Schema,
+		"SELECT parent.name FROM parent JOIN child ON child.pid = parent.pid")
+	want, err := Execute(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewJoinCache(db)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecuteCtx(morselCtx(dead), q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("morsel ExecuteCtx under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	res, err := c.ExecuteCtx(morselCtx(context.Background()), q)
+	if err != nil {
+		t.Fatalf("healthy morsel Execute after cancelled one: %v", err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("healthy morsel Execute returned %d rows, want %d (cache poisoned?)",
+			len(res.Rows), len(want.Rows))
+	}
+}

@@ -38,19 +38,36 @@ type PipelineStats struct {
 	IndexProbes    int64 // join-step posting-list lookups
 	PrefixHits     int64 // joins materialized by extending an already-cached prefix
 	JoinsBuilt     int64 // joins materialized from scratch
+	MorselRuns     int64 // scans fanned out through the morsel runner
+	Morsels        int64 // morsels claimed and executed across all runs
+	MorselWorkers  int64 // sum over runs of workers used (caller included)
 }
 
 // IndexHits is the total posting-list work served by persistent indexes.
 func (s PipelineStats) IndexHits() int64 { return s.IndexSeeds + s.IndexProbes }
 
+// AvgMorselWorkers is the mean degree of parallelism actually achieved per
+// morsel-parallel scan — the per-query parallel efficiency numerator: with
+// an idle pool it approaches the per-query worker cap, and under saturation
+// (all tokens held by enumeration verify workers) it degrades toward 1.
+func (s PipelineStats) AvgMorselWorkers() float64 {
+	if s.MorselRuns == 0 {
+		return 0
+	}
+	return float64(s.MorselWorkers) / float64(s.MorselRuns)
+}
+
 // pipelineCounters is the mutable, concurrency-safe form of PipelineStats.
 type pipelineCounters struct {
-	streamed    atomic.Int64
-	fallback    atomic.Int64
-	indexSeeds  atomic.Int64
-	indexProbes atomic.Int64
-	prefixHits  atomic.Int64
-	joinsBuilt  atomic.Int64
+	streamed      atomic.Int64
+	fallback      atomic.Int64
+	indexSeeds    atomic.Int64
+	indexProbes   atomic.Int64
+	prefixHits    atomic.Int64
+	joinsBuilt    atomic.Int64
+	morselRuns    atomic.Int64
+	morsels       atomic.Int64
+	morselWorkers atomic.Int64
 }
 
 func (pc *pipelineCounters) snapshot() PipelineStats {
@@ -64,6 +81,9 @@ func (pc *pipelineCounters) snapshot() PipelineStats {
 		IndexProbes:    pc.indexProbes.Load(),
 		PrefixHits:     pc.prefixHits.Load(),
 		JoinsBuilt:     pc.joinsBuilt.Load(),
+		MorselRuns:     pc.morselRuns.Load(),
+		Morsels:        pc.morsels.Load(),
+		MorselWorkers:  pc.morselWorkers.Load(),
 	}
 }
 
@@ -71,6 +91,13 @@ func (pc *pipelineCounters) add(c *atomic.Int64, n int64) {
 	if n != 0 {
 		c.Add(n)
 	}
+}
+
+// addMorselRun records one resolved fan-out's stats.
+func (pc *pipelineCounters) addMorselRun(res morselResult) {
+	pc.add(&pc.morselRuns, 1)
+	pc.add(&pc.morsels, res.processed)
+	pc.add(&pc.morselWorkers, int64(res.workers))
 }
 
 // discardCounters sinks pipeline counters for callers without a JoinCache
@@ -470,14 +497,34 @@ func (p *streamPlan) bindPred(pr sqlir.Predicate) (boundPred, error) {
 	return compilePred(slot, p.tables[slot].VectorAt(ci), pr.Op, pr.Val), nil
 }
 
-// run enumerates joined tuples depth-first, evaluating each bound predicate
-// at the shallowest depth where its slot is bound. emit returning stop=true
-// short-circuits the whole enumeration (the first-witness early exit).
-// Every visited row and every probed posting ticks a cancellation
-// checkpoint, so a cancelled request unwinds mid-scan within
+// domainLen is the size of the plan's root scan domain: the pushdown
+// posting list when seeded, else the root table's row count. Morsels
+// partition exactly this domain.
+func (p *streamPlan) domainLen() int {
+	if p.seeded {
+		return len(p.rootRows)
+	}
+	return p.tables[0].NumRows()
+}
+
+// run enumerates the full root domain; see runRange.
+func (p *streamPlan) run(ctx context.Context, inj *faultinject.Injector, pc *pipelineCounters, emit func(tp []int32) (stop bool, err error)) error {
+	_, err := p.runRange(ctx, inj, pc, 0, p.domainLen(), emit)
+	return err
+}
+
+// runRange enumerates joined tuples depth-first over the root-domain slice
+// [lo, hi), evaluating each bound predicate at the shallowest depth where
+// its slot is bound. emit returning stop=true short-circuits the
+// enumeration (the first-witness early exit), reported as stopped=true.
+// All mutable state (the tuple scratch, the canceller, the probe counter)
+// is local to the call, so morsel workers may run disjoint ranges of one
+// plan concurrently. Every visited row and every probed posting ticks a
+// cancellation checkpoint, so a cancelled request — or a morsel whose range
+// was made moot by a witness in an earlier morsel — unwinds mid-scan within
 // checkpointRows units of work; inj (nil for clean requests) injects
 // per-probe latency for the chaos harness.
-func (p *streamPlan) run(ctx context.Context, inj *faultinject.Injector, pc *pipelineCounters, emit func(tp []int32) (stop bool, err error)) error {
+func (p *streamPlan) runRange(ctx context.Context, inj *faultinject.Injector, pc *pipelineCounters, lo, hi int, emit func(tp []int32) (stop bool, err error)) (stopped bool, err error) {
 	tp := make([]int32, len(p.tables))
 	var probes int64
 	cc := newCanceller(ctx)
@@ -546,22 +593,42 @@ func (p *streamPlan) run(ctx context.Context, inj *faultinject.Injector, pc *pip
 
 	defer func() { pc.add(&pc.indexProbes, probes) }()
 	if err := ctx.Err(); err != nil {
-		return err
+		return false, err
 	}
 	if p.seeded {
-		for _, ri := range p.rootRows {
+		for _, ri := range p.rootRows[lo:hi] {
 			if stop, err := visit(ri); stop || err != nil {
-				return err
+				return stop, err
 			}
 		}
-		return nil
+		return false, nil
 	}
-	for i, n := 0, p.tables[0].NumRows(); i < n; i++ {
+	for i := lo; i < hi; i++ {
 		if stop, err := visit(int32(i)); stop || err != nil {
-			return err
+			return stop, err
 		}
 	}
-	return nil
+	return false, nil
+}
+
+// existsMorsels is the flat witness probe fanned over morsels: each worker
+// short-circuits its own morsel on a local witness; the run's watermark
+// cancels morsels above the lowest decisive one; and resolve() returns the
+// outcome of the lowest decided morsel — the exact event (witness or error)
+// the sequential scan would have hit first, so answers and errors are
+// indistinguishable from the single-threaded path.
+func (p *streamPlan) existsMorsels(ctx context.Context, inj *faultinject.Injector, pc *pipelineCounters, pool *WorkerPool, msize int) (bool, error) {
+	witness := func([]int32) (bool, error) { return true, nil }
+	n := p.domainLen()
+	morsels := storage.Morsels(n, msize)
+	if len(morsels) < 2 {
+		return p.runRange(ctx, inj, pc, 0, n, witness)
+	}
+	res := runMorsels(ctx, pool, morsels, func(mctx context.Context, m int) (bool, error) {
+		return p.runRange(mctx, inj, pc, morsels[m].Lo, morsels[m].Hi, witness)
+	})
+	pc.addMorselRun(res)
+	return res.found, res.err
 }
 
 // streamExists answers an exists query through the vectorized streaming
@@ -577,9 +644,14 @@ func streamExists(ctx context.Context, db *storage.Database, eq ExistsQuery, pc 
 		return false, false, nil
 	}
 	inj := faultinject.From(ctx)
+	pool := PoolFrom(ctx)
 	if !grouped {
 		if plan.seeded {
 			pc.add(&pc.indexSeeds, 1)
+		}
+		if pool != nil {
+			found, rerr := plan.existsMorsels(ctx, inj, pc, pool, MorselSizeFrom(ctx))
+			return found, true, rerr
 		}
 		found := false
 		rerr := plan.run(ctx, inj, pc, func([]int32) (bool, error) {
@@ -588,7 +660,11 @@ func streamExists(ctx context.Context, db *storage.Database, eq ExistsQuery, pc 
 		})
 		return found, true, rerr
 	}
-	ok, handled, err = streamGroupedExists(ctx, inj, plan, eq, pc)
+	if pool != nil {
+		ok, handled, err = streamGroupedExistsMorsels(ctx, inj, plan, eq, pc, pool, MorselSizeFrom(ctx))
+	} else {
+		ok, handled, err = streamGroupedExists(ctx, inj, plan, eq, pc)
+	}
 	if handled && plan.seeded {
 		// Counted only once the probe is actually streamed, so fallbacks
 		// (e.g. unsupported HAVING shapes) don't inflate pushdown coverage.
@@ -668,6 +744,63 @@ func checkGroupHavings(order []*groupState, refs []sqlir.ColumnRef, colAt map[sq
 	return false, true, nil
 }
 
+// keyCol/aggCol bind one GROUP BY or HAVING column to its slot and vector.
+type keyCol struct {
+	slot int
+	vec  *storage.ColumnVec
+}
+type aggCol struct {
+	slot int
+	vec  *storage.ColumnVec
+}
+
+// groupedBinding is an exists query's grouping shape compiled against a
+// stream plan, shared by the sequential and morsel grouped pipelines so
+// both reject exactly the same shapes (ok=false → materializing fallback).
+type groupedBinding struct {
+	keys  []keyCol
+	cols  []aggCol
+	refs  []sqlir.ColumnRef
+	colAt map[sqlir.ColumnRef]int
+}
+
+// bindGrouped resolves GROUP BY keys and HAVING aggregate columns.
+// ok=false means the shape is unsupported (or a column fails to bind) and
+// the caller must fall back to the materializing path, which reproduces the
+// reference behavior — including its error messages — exactly.
+func bindGrouped(plan *streamPlan, eq ExistsQuery) (gb groupedBinding, ok bool) {
+	gb.keys = make([]keyCol, 0, len(eq.GroupBy))
+	for _, g := range eq.GroupBy {
+		slot, ci, berr := plan.bindCol(g)
+		if berr != nil {
+			return gb, false
+		}
+		gb.keys = append(gb.keys, keyCol{slot, plan.tables[slot].VectorAt(ci)})
+	}
+	gb.colAt = map[sqlir.ColumnRef]int{}
+	for _, h := range eq.Havings {
+		if h.Col.IsStar() {
+			if h.Agg != sqlir.AggCount {
+				return gb, false // reference path reports the error
+			}
+			continue
+		}
+		if h.Agg > sqlir.AggAvg {
+			return gb, false
+		}
+		if _, seen := gb.colAt[h.Col]; !seen {
+			slot, ci, berr := plan.bindCol(h.Col)
+			if berr != nil {
+				return gb, false
+			}
+			gb.colAt[h.Col] = len(gb.cols)
+			gb.cols = append(gb.cols, aggCol{slot: slot, vec: plan.tables[slot].VectorAt(ci)})
+			gb.refs = append(gb.refs, h.Col)
+		}
+	}
+	return gb, true
+}
+
 // streamGroupedExists streams matching tuples into per-group aggregate
 // states — no tuple buffering — then checks HAVING per group. The plan keeps
 // reference enumeration order, so group discovery order and floating-point
@@ -675,46 +808,11 @@ func checkGroupHavings(order []*groupState, refs []sqlir.ColumnRef, colAt map[sq
 // are fixed-width binary encodings of the typed cells (dictionary code or
 // float bits), not formatted strings.
 func streamGroupedExists(ctx context.Context, inj *faultinject.Injector, plan *streamPlan, eq ExistsQuery, pc *pipelineCounters) (ok, handled bool, err error) {
-	type keyCol struct {
-		slot int
-		vec  *storage.ColumnVec
+	gb, bok := bindGrouped(plan, eq)
+	if !bok {
+		return false, false, nil
 	}
-	keys := make([]keyCol, 0, len(eq.GroupBy))
-	for _, g := range eq.GroupBy {
-		slot, ci, berr := plan.bindCol(g)
-		if berr != nil {
-			return false, false, nil
-		}
-		keys = append(keys, keyCol{slot, plan.tables[slot].VectorAt(ci)})
-	}
-
-	type aggCol struct {
-		slot int
-		vec  *storage.ColumnVec
-	}
-	var cols []aggCol
-	var refs []sqlir.ColumnRef
-	colAt := map[sqlir.ColumnRef]int{}
-	for _, h := range eq.Havings {
-		if h.Col.IsStar() {
-			if h.Agg != sqlir.AggCount {
-				return false, false, nil // reference path reports the error
-			}
-			continue
-		}
-		if h.Agg > sqlir.AggAvg {
-			return false, false, nil
-		}
-		if _, seen := colAt[h.Col]; !seen {
-			slot, ci, berr := plan.bindCol(h.Col)
-			if berr != nil {
-				return false, false, nil
-			}
-			colAt[h.Col] = len(cols)
-			cols = append(cols, aggCol{slot: slot, vec: plan.tables[slot].VectorAt(ci)})
-			refs = append(refs, h.Col)
-		}
-	}
+	keys, cols, refs, colAt := gb.keys, gb.cols, gb.refs, gb.colAt
 
 	var order []*groupState
 	newState := func() *groupState {

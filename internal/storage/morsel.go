@@ -1,0 +1,61 @@
+// Morsel partitioning over the columnar vectors. A morsel is a fixed-size
+// contiguous range of row positions — the unit of intra-query parallelism in
+// the executor (morsel-driven parallelism in the style of Leis et al.): one
+// worker scans one morsel at a time, and per-morsel partial results are
+// merged deterministically in morsel order so the parallel plan stays
+// bit-identical to the single-threaded scan. The executor's default morsel
+// size is a multiple of the 64-row words of the null bitmaps, which is also
+// the natural alignment for the future on-disk segment chunks (ROADMAP item
+// 1): a segment boundary will always coincide with a morsel boundary.
+// Arbitrary sizes (down to one row) remain legal — scans only read the
+// shared vectors, so an unaligned boundary is a test knob, not a hazard.
+package storage
+
+// MorselAlign is the preferred row alignment of morsel boundaries: the word
+// width of the null bitmaps. Sizes that are multiples of 64 keep every
+// morsel (except the last) on whole bitmap words and will map one-to-one
+// onto segment chunk boundaries.
+const MorselAlign = 64
+
+// Morsel is a half-open row range [Lo, Hi) over a table's row positions (or
+// over the positions of a posting list being partitioned).
+type Morsel struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows in the morsel.
+func (m Morsel) Len() int { return m.Hi - m.Lo }
+
+// AlignMorselSize rounds a morsel size up to the bitmap-word alignment
+// (minimum one word) — used to normalize operator-facing configuration like
+// the -morsel-size flags, while tests may partition at any granularity.
+func AlignMorselSize(size int) int {
+	if size < MorselAlign {
+		return MorselAlign
+	}
+	if rem := size % MorselAlign; rem != 0 {
+		size += MorselAlign - rem
+	}
+	return size
+}
+
+// Morsels partitions n rows into morsels of the requested size (the last
+// morsel takes the remainder). Sizes below one row are clamped to one;
+// n <= 0 yields no morsels.
+func Morsels(n, size int) []Morsel {
+	if n <= 0 {
+		return nil
+	}
+	if size < 1 {
+		size = 1
+	}
+	out := make([]Morsel, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Morsel{Lo: lo, Hi: hi})
+	}
+	return out
+}
