@@ -3,6 +3,13 @@
 
 .PHONY: build test vet race fmt-check bench bench-sqlexec bench-server bench-storage bench-loadgen
 
+# DATA_DIR is the segment store the load-harness invocations share: the
+# first run persists each generated database under its spec content
+# address, later runs (and later targets in the same CI job) cold-start
+# from disk instead of regenerating. Point it somewhere persistent to keep
+# the cache across invocations; it is safe to delete at any time.
+DATA_DIR ?= /tmp/duoquest-segments
+
 build:
 	go build ./...
 
@@ -43,9 +50,13 @@ bench-sqlexec:
 # BenchmarkMorsel* family rides along at a lower -benchtime (the 300k/1M-row
 # sweep databases make each iteration expensive): the morsel fan-out at
 # explicit worker counts, each configuration equivalence-checked against the
-# single-threaded columnar pipeline before timing.
+# single-threaded columnar pipeline before timing. BenchmarkSegment{Write,
+# Load,Rebuild} record the durable segment store's cold-start economics:
+# persist cost, cold-start load cost (fingerprint-verified), and the
+# regenerate-from-spec alternative the load replaces — Load vs Rebuild at
+# 1M rows is the cold-start speedup EXPERIMENTS.md tracks.
 bench-storage:
-	@{ go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkColumnar' -benchtime 20x -benchmem && go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkMorsel' -benchtime 3x -benchmem; } > bench.out; \
+	@{ go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkColumnar' -benchtime 20x -benchmem && go test ./internal/sqlexec -run '^$$' -bench 'BenchmarkMorsel' -benchtime 3x -benchmem && go test ./internal/storage/segment -run '^$$' -bench 'BenchmarkSegment' -benchtime 5x -benchmem; } > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_storage.json < bench.out; \
@@ -60,7 +71,7 @@ bench-storage:
 # recorded closed-loop latency does not track the recording machine's
 # core count, keeping the CI regression gate comparable across hosts.
 bench-loadgen:
-	@{ go test ./internal/loadgen ./internal/sqlexec -run '^$$' -bench 'BenchmarkLoadgen' -benchtime 3x -benchmem && go run ./cmd/duoquest-loadtest -scale small -c 4; } > bench.out; \
+	@{ go test ./internal/loadgen ./internal/sqlexec -run '^$$' -bench 'BenchmarkLoadgen' -benchtime 3x -benchmem && go run ./cmd/duoquest-loadtest -scale small -c 4 -data-dir $(DATA_DIR); } > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_loadgen.json < bench.out; \
@@ -72,7 +83,7 @@ bench-loadgen:
 # -chaos), which both gates clean-vs-faulty result equivalence and records
 # the deadline-fire-to-return quantiles at each data scale.
 bench-server:
-	@{ go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem && go run ./cmd/duoquest-loadtest -chaos -scale small -c 4; } > bench.out; \
+	@{ go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem && go run ./cmd/duoquest-loadtest -chaos -scale small -c 4 -data-dir $(DATA_DIR); } > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_server.json < bench.out; \

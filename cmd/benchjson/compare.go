@@ -16,6 +16,19 @@ type Regression struct {
 	Ratio  float64 // NewNs / BaseNs
 }
 
+// Added is one benchmark with no usable baseline: either brand new in the
+// fresh report, or present in the baseline with a zero ns/op. Both are
+// informational — there is nothing to ratio against, so they can never fail
+// the gate — but their fresh values are carried so a newly introduced
+// benchmark's first measurement still lands in the comparison output.
+type Added struct {
+	Name  string
+	NewNs float64
+	// ZeroBase distinguishes a zero-ns/op baseline entry from a benchmark
+	// absent from the baseline entirely.
+	ZeroBase bool
+}
+
 // Comparison is the diff of two recorded reports.
 type Comparison struct {
 	Regressions []Regression // ns/op above base * (1 + tolerance)
@@ -24,13 +37,15 @@ type Comparison struct {
 	Missing     []string     // in base but absent from new (reported, not fatal:
 	// partial runs — e.g. CI's scaled-down loadgen scenario — compare only
 	// what they measured)
-	Added []string // in new but absent from base
+	Added []Added // no usable baseline (new benchmark, or zero base ns/op)
 }
 
 // Compare diffs new against base benchmark by benchmark (matched by name).
 // A benchmark regresses when its fresh ns/op exceeds the recorded ns/op by
 // more than tolerance (0.30 = fail beyond +30%). Benchmarks with a zero or
-// missing base ns/op are skipped — there is nothing to ratio against.
+// missing base ns/op are informational (Added) — there is nothing to ratio
+// against — so landing a new benchmark never fails the gate, but its first
+// measurement is still listed.
 func Compare(base, fresh *Report, tolerance float64) Comparison {
 	var cmp Comparison
 	baseBy := map[string]Benchmark{}
@@ -42,10 +57,11 @@ func Compare(base, fresh *Report, tolerance float64) Comparison {
 		seen[nb.Name] = true
 		bb, ok := baseBy[nb.Name]
 		if !ok {
-			cmp.Added = append(cmp.Added, nb.Name)
+			cmp.Added = append(cmp.Added, Added{Name: nb.Name, NewNs: nb.NsPerOp})
 			continue
 		}
 		if bb.NsPerOp <= 0 {
+			cmp.Added = append(cmp.Added, Added{Name: nb.Name, NewNs: nb.NsPerOp, ZeroBase: true})
 			continue
 		}
 		entry := Regression{Name: nb.Name, BaseNs: bb.NsPerOp, NewNs: nb.NsPerOp, Ratio: nb.NsPerOp / bb.NsPerOp}
@@ -65,7 +81,7 @@ func Compare(base, fresh *Report, tolerance float64) Comparison {
 	}
 	sort.Slice(cmp.Regressions, func(i, j int) bool { return cmp.Regressions[i].Ratio > cmp.Regressions[j].Ratio })
 	sort.Strings(cmp.Missing)
-	sort.Strings(cmp.Added)
+	sort.Slice(cmp.Added, func(i, j int) bool { return cmp.Added[i].Name < cmp.Added[j].Name })
 	return cmp
 }
 
@@ -96,8 +112,12 @@ func runCompare(args []string) int {
 	for _, r := range cmp.Improved {
 		fmt.Printf("improved:  %-50s %12.0f -> %12.0f ns/op (%.2fx)\n", r.Name, r.BaseNs, r.NewNs, r.Ratio)
 	}
-	for _, name := range cmp.Added {
-		fmt.Printf("added:     %s (no baseline)\n", name)
+	for _, a := range cmp.Added {
+		why := "no baseline"
+		if a.ZeroBase {
+			why = "zero baseline ns/op"
+		}
+		fmt.Printf("added:     %-50s %12.0f ns/op (informational: %s)\n", a.Name, a.NewNs, why)
 	}
 	for _, name := range cmp.Missing {
 		fmt.Printf("missing:   %s (in baseline, not measured this run)\n", name)

@@ -17,8 +17,9 @@ func bench(name string, ns float64) Benchmark {
 
 // TestCompareTolerance pins the gate's arithmetic: the boundary is strict
 // (exactly base*(1+tol) still passes), improvements and additions never
-// fail, zero baselines are skipped, and disappeared benchmarks are reported
-// without failing (partial CI runs compare only what they measured).
+// fail, zero baselines are informational additions rather than silently
+// dropped, and disappeared benchmarks are reported without failing (partial
+// CI runs compare only what they measured).
 func TestCompareTolerance(t *testing.T) {
 	base := report(
 		bench("BenchmarkA", 100),
@@ -47,8 +48,16 @@ func TestCompareTolerance(t *testing.T) {
 	if cmp.Unchanged != 1 { // BenchmarkA
 		t.Fatalf("unchanged = %d, want 1", cmp.Unchanged)
 	}
-	if len(cmp.Added) != 1 || cmp.Added[0] != "BenchmarkNew" {
-		t.Fatalf("added = %v", cmp.Added)
+	// Additions carry their fresh values: a brand-new benchmark and the
+	// zero-baseline one both land here, neither able to fail the gate.
+	if len(cmp.Added) != 2 {
+		t.Fatalf("added = %+v, want BenchmarkNew and BenchmarkZero", cmp.Added)
+	}
+	if a := cmp.Added[0]; a.Name != "BenchmarkNew" || a.NewNs != 1e9 || a.ZeroBase {
+		t.Fatalf("added[0] = %+v, want fresh BenchmarkNew at 1e9 ns/op", a)
+	}
+	if a := cmp.Added[1]; a.Name != "BenchmarkZero" || a.NewNs != 99 || !a.ZeroBase {
+		t.Fatalf("added[1] = %+v, want zero-base BenchmarkZero at 99 ns/op", a)
 	}
 	if len(cmp.Missing) != 1 || cmp.Missing[0] != "BenchmarkGone" {
 		t.Fatalf("missing = %v", cmp.Missing)

@@ -23,6 +23,7 @@ import (
 	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/loadgen"
 	"github.com/duoquest/duoquest/internal/service"
+	"github.com/duoquest/duoquest/internal/storage/segment"
 )
 
 // chaosDeadline is the per-request budget for the cancel-to-return sweep:
@@ -46,7 +47,11 @@ func faultPlan(seed int64) faultinject.Config {
 }
 
 // runChaos replaces the normal load phases with the fault-injection harness.
-func runChaos(cfg config, cancelScales []int, stdout, stderr io.Writer) error {
+// The main database is always generated fresh — its ingest runs under the
+// injected stall schedule, which is part of the test — but the cancel
+// sweep's databases come through the segment-store cache when one is
+// configured.
+func runChaos(cfg config, store *segment.Store, cancelScales []int, stdout, stderr io.Writer) error {
 	spec, ok := loadgen.Preset(cfg.scale)
 	if !ok {
 		return fmt.Errorf("unknown -scale %q (want small, medium, or large)", cfg.scale)
@@ -100,7 +105,7 @@ func runChaos(cfg config, cancelScales []int, stdout, stderr io.Writer) error {
 	if err := chaosMixed(cfg, g, eng, inputs, ref, stderr); err != nil {
 		return err
 	}
-	return chaosCancelSweep(cfg, cancelScales, eng, stdout, stderr)
+	return chaosCancelSweep(cfg, store, cancelScales, eng, stdout, stderr)
 }
 
 // chaosReference runs every task once, sequentially and fault-free, and
@@ -200,12 +205,12 @@ func chaosMixed(cfg config, g *loadgen.Generated, eng *service.Engine, inputs []
 // cancel-to-return latency — how long after the deadline context fires a
 // request actually returns — from the service layer's own instrumentation,
 // the same quantiles /stats serves as cancel_to_return_ns.
-func chaosCancelSweep(cfg config, scales []int, eng *service.Engine, stdout, stderr io.Writer) error {
+func chaosCancelSweep(cfg config, store *segment.Store, scales []int, eng *service.Engine, stdout, stderr io.Writer) error {
 	for _, rows := range scales {
 		spec, _ := loadgen.Preset("medium")
 		spec.Name = fmt.Sprintf("cancel%d", rows)
 		spec.Rows = rows
-		g, err := loadgen.Generate(spec, cfg.seed)
+		g, err := obtainGenerated(store, spec, cfg.seed, stderr)
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,7 @@ import (
 	"github.com/duoquest/duoquest/internal/dataset"
 	"github.com/duoquest/duoquest/internal/loadgen"
 	"github.com/duoquest/duoquest/internal/service"
+	"github.com/duoquest/duoquest/internal/storage/segment"
 )
 
 // config is the parsed command line.
@@ -54,6 +55,7 @@ type config struct {
 	short      bool
 	qworkers   int
 	morselSize int
+	dataDir    string
 
 	// chaos mode (see chaos.go): replaces the normal phases.
 	chaos       bool
@@ -87,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.BoolVar(&cfg.short, "short", false, "CI mode: shrink requests and sweep so the run finishes in seconds")
 	fs.IntVar(&cfg.qworkers, "query-workers", 0, "engine-wide intra-query morsel workers per scan (0 = follow engine workers, 1 = single-threaded scans)")
 	fs.IntVar(&cfg.morselSize, "morsel-size", 0, "scan rows per morsel (0 = executor default 4096; rounded up to 64)")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "segment store directory: cache generated databases by spec+seed content address and cold-start from disk on a hit (empty = always regenerate)")
 	fs.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: clean reference pass, mixed faulty/clean traffic with an equivalence gate, then a cancel-to-return sweep (replaces the normal phases)")
 	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 7, "fault-schedule seed (same seed, same faults)")
 	fs.StringVar(&cfg.cancelSweep, "cancel-sweep", "10000,100000,300000", "comma-separated row counts for the chaos cancel-to-return sweep")
@@ -125,8 +128,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			cfg.cancelReqs = 10
 		}
 	}
+	var store *segment.Store
+	if cfg.dataDir != "" {
+		store, err = segment.NewStore(cfg.dataDir)
+		if err != nil {
+			return err
+		}
+	}
 	if cfg.chaos {
-		return runChaos(cfg, cancelScales, stdout, stderr)
+		return runChaos(cfg, store, cancelScales, stdout, stderr)
 	}
 
 	spec, ok := loadgen.Preset(cfg.scale)
@@ -141,12 +151,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	g, err := loadgen.Generate(spec, cfg.seed)
+	g, err := obtainGenerated(store, spec, cfg.seed, stderr)
 	if err != nil {
 		return err
 	}
 	genElapsed := time.Since(start)
-	fmt.Fprintf(stderr, "generated %s: %d tables, %d rows in %v (fingerprint %016x)\n",
+	fmt.Fprintf(stderr, "obtained %s: %d tables, %d rows in %v (fingerprint %016x)\n",
 		g.DB.Name, len(g.DB.Schema.Tables), g.DB.TotalRows(), genElapsed.Round(time.Millisecond), loadgen.Fingerprint(g.DB))
 
 	eng := service.NewEngine(service.Options{
@@ -166,7 +176,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := driveSessions(cfg, g, eng, stdout, stderr); err != nil {
 		return err
 	}
-	return driveSweep(cfg, sweepScales, eng, stdout, stderr)
+	return driveSweep(cfg, store, sweepScales, eng, stdout, stderr)
+}
+
+// obtainGenerated returns the generated database for (spec, seed): loaded
+// from the segment store when a persisted copy exists (a cold start, not a
+// rebuild), and generated then persisted otherwise. Store entries are keyed
+// by the content address of every generation knob (loadgen.SpecKey), so a
+// hit can only be the database Generate would have built — and the load
+// path re-verifies the recorded fingerprint besides. A nil store always
+// regenerates.
+func obtainGenerated(store *segment.Store, spec loadgen.Spec, seed int64, stderr io.Writer) (*loadgen.Generated, error) {
+	if store == nil {
+		return loadgen.Generate(spec, seed)
+	}
+	key := loadgen.SpecKey(spec, seed)
+	if store.Has(key) {
+		db, info, err := store.Load(key)
+		if err == nil {
+			g, ferr := loadgen.FromPersisted(db, spec, seed)
+			if ferr == nil {
+				fmt.Fprintf(stderr, "segment store: cold-started %s in %v (%d segments, %d chunks, %.1f MiB)\n",
+					db.Name, info.Elapsed.Round(time.Millisecond), info.Segments, info.Chunks,
+					float64(info.Bytes)/(1<<20))
+				return g, nil
+			}
+			err = ferr
+		}
+		// A corrupt or stale entry must not kill the run: fall back to
+		// regeneration, which re-persists a good copy below.
+		fmt.Fprintf(stderr, "segment store: entry %s unusable (%v); regenerating\n", key, err)
+	}
+	g, err := loadgen.Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.PersistAs(key, g.DB); err != nil {
+		fmt.Fprintf(stderr, "segment store: persist %s: %v\n", key, err)
+	} else {
+		fmt.Fprintf(stderr, "segment store: persisted %s as %s\n", g.DB.Name, key)
+	}
+	return g, nil
 }
 
 // synthInputs synthesizes the NLQ+TSQ task mix for one generated database,
@@ -261,12 +311,12 @@ func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout
 
 // driveSweep measures verification ns/op at each swept row count through
 // the service layer's shared-cache probe surface.
-func driveSweep(cfg config, scales []int, eng *service.Engine, stdout, stderr io.Writer) error {
+func driveSweep(cfg config, store *segment.Store, scales []int, eng *service.Engine, stdout, stderr io.Writer) error {
 	for _, rows := range scales {
 		spec, _ := loadgen.Preset("medium")
 		spec.Name = "sweep"
 		spec.Rows = rows
-		g, err := loadgen.Generate(spec, cfg.seed)
+		g, err := obtainGenerated(store, spec, cfg.seed, stderr)
 		if err != nil {
 			return err
 		}

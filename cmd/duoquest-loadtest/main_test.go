@@ -83,3 +83,51 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatalf("err = %v, want -c validation", err)
 	}
 }
+
+// TestDataDirCache: with -data-dir, the first run persists the generated
+// databases into the segment store and a second identical run cold-starts
+// from it instead of regenerating; a run with a different seed misses the
+// cache and generates its own entries.
+func TestDataDirCache(t *testing.T) {
+	dir := t.TempDir()
+	args := func(seed string) []string {
+		return []string{
+			"-scale", "small", "-rows", "2000", "-seed", seed, "-c", "2",
+			"-requests", "4", "-tasks", "2", "-maxstates", "400",
+			"-sweep", "1500", "-sweep-probes", "10", "-data-dir", dir,
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(args("3"), &stdout, &stderr); err != nil {
+		t.Fatalf("first run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "segment store: persisted") {
+		t.Fatalf("first run did not persist:\n%s", out)
+	}
+	if out := stderr.String(); strings.Contains(out, "cold-started") {
+		t.Fatalf("first run claims a cold start on an empty store:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(args("3"), &stdout, &stderr); err != nil {
+		t.Fatalf("second run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "segment store: cold-started") {
+		t.Fatalf("second run did not hit the cache:\n%s", out)
+	}
+	if strings.Contains(out, "segment store: persisted") {
+		t.Fatalf("second run re-persisted despite a full cache:\n%s", out)
+	}
+
+	// A different seed is a different content address: cache miss.
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(args("4"), &stdout, &stderr); err != nil {
+		t.Fatalf("third run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "segment store: persisted") {
+		t.Fatalf("seed change did not miss the cache:\n%s", out)
+	}
+}

@@ -59,6 +59,7 @@ func main() {
 		qworkers    = flag.Int("query-workers", 0, "intra-query morsel workers per scan (0 = follow -workers, 1 = single-threaded scans)")
 		morsel      = flag.Int("morsel-size", 0, "scan rows per morsel (0 = executor default 4096; rounded up to 64)")
 		defaultDB   = flag.String("db", "mas", "default database for requests without ?db=")
+		dataDir     = flag.String("data-dir", "", "segment store directory; every persisted database in it is loaded and registered at startup")
 		maxInFlight = flag.Int("max-inflight", 8, "max concurrently running syntheses (0 = unbounded)")
 		maxQueue    = flag.Int("max-queue", 64, "max queued syntheses before 503 (0 = unbounded)")
 		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
@@ -83,6 +84,13 @@ func main() {
 		if err := eng.Register(db); err != nil {
 			log.Fatalf("register %s: %v", db.Name, err)
 		}
+	}
+	if *dataDir != "" {
+		store, err := duoquest.OpenSegmentStore(*dataDir)
+		if err != nil {
+			log.Fatalf("open segment store: %v", err)
+		}
+		registerPersisted(eng, store, log.Printf)
 	}
 	srv, err := newServer(eng, *defaultDB)
 	if err != nil {
@@ -119,6 +127,38 @@ func main() {
 			log.Printf("graceful shutdown: %v; closing", err)
 			httpSrv.Close()
 		}
+	}
+}
+
+// registerPersisted loads and registers every database in the segment
+// store. A corrupt or unloadable entry is logged and skipped — one bad
+// store entry must not take down the databases that do load (or the
+// built-in ones).
+func registerPersisted(eng *duoquest.Engine, store *duoquest.SegmentStore, logf func(string, ...any)) {
+	names, err := store.List()
+	if err != nil {
+		logf("segment store %s: %v", store.Dir(), err)
+		return
+	}
+	for _, name := range names {
+		db, info, err := duoquest.OpenDatabase(store, name)
+		if err != nil {
+			logf("segment store: skipping %s: %v", name, err)
+			continue
+		}
+		prov := duoquest.DBProvenance{
+			Source:       "disk",
+			Segments:     info.Segments,
+			Chunks:       info.Chunks,
+			ManifestHash: info.ManifestHash,
+			LoadDuration: info.Elapsed,
+		}
+		if err := eng.RegisterWithProvenance(db, prov); err != nil {
+			logf("segment store: register %s: %v", db.Name, err)
+			continue
+		}
+		logf("segment store: loaded %s (%d tables, %d segments, %d chunks) in %s",
+			db.Name, info.Tables, info.Segments, info.Chunks, info.Elapsed)
 	}
 }
 
@@ -513,6 +553,13 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		DictBytes   int64       `json:"dict_bytes"`
 		Tables      []tableJSON `json:"tables"`
 		Dicts       []dictJSON  `json:"dicts"`
+		// Provenance: "memory" for databases built in-process, "disk" for
+		// databases cold-started from a segment store.
+		Source       string  `json:"source"`
+		Segments     int     `json:"segments,omitempty"`
+		Chunks       int     `json:"chunks,omitempty"`
+		ManifestHash string  `json:"manifest_hash,omitempty"`
+		LoadMS       float64 `json:"load_ms,omitempty"`
 	}
 	type dbJSON struct {
 		Database         string  `json:"database"`
@@ -548,11 +595,16 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, d := range st.Databases {
 		sto := storageJSON{
-			Rows:        d.Storage.Rows,
-			VectorBytes: d.Storage.VectorBytes,
-			DictBytes:   d.Storage.DictBytes,
-			Tables:      []tableJSON{},
-			Dicts:       []dictJSON{},
+			Rows:         d.Storage.Rows,
+			VectorBytes:  d.Storage.VectorBytes,
+			DictBytes:    d.Storage.DictBytes,
+			Tables:       []tableJSON{},
+			Dicts:        []dictJSON{},
+			Source:       d.Storage.Provenance.Source,
+			Segments:     d.Storage.Provenance.Segments,
+			Chunks:       d.Storage.Provenance.Chunks,
+			ManifestHash: d.Storage.Provenance.ManifestHash,
+			LoadMS:       float64(d.Storage.Provenance.LoadDuration) / float64(time.Millisecond),
 		}
 		for _, tf := range d.Storage.Tables {
 			sto.Tables = append(sto.Tables, tableJSON{

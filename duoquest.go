@@ -38,6 +38,7 @@ import (
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/sqlparse"
 	"github.com/duoquest/duoquest/internal/storage"
+	"github.com/duoquest/duoquest/internal/storage/segment"
 	"github.com/duoquest/duoquest/internal/tsq"
 )
 
@@ -91,6 +92,19 @@ type (
 	// per-database request counts, cache hit rates, and latency
 	// quantiles.
 	EngineStats = service.Stats
+	// SegmentStore is a durable, content-addressed columnar store: persist
+	// a Database as checksummed chunk files plus a manifest, and load it
+	// back byte-identically in tens of milliseconds. Open one with
+	// OpenSegmentStore.
+	SegmentStore = segment.Store
+	// SegmentLoadInfo summarises one completed segment-store load.
+	SegmentLoadInfo = segment.LoadInfo
+	// SegmentManifest is the checksummed bookkeeping of one persisted
+	// database.
+	SegmentManifest = segment.Manifest
+	// DBProvenance records where a registered database's bytes came from
+	// (memory build vs segment-store load).
+	DBProvenance = service.Provenance
 )
 
 // Column types.
@@ -120,6 +134,27 @@ func NewSchema(tables ...*Table) *Schema { return storage.NewSchema(tables...) }
 // NewTable creates an empty table with the given primary key and columns.
 func NewTable(name, pk string, cols ...Column) *Table {
 	return storage.NewTable(name, pk, cols...)
+}
+
+// OpenSegmentStore opens (creating if needed) a durable segment store
+// rooted at dir.
+func OpenSegmentStore(dir string) (*SegmentStore, error) {
+	return segment.NewStore(dir)
+}
+
+// PersistDatabase writes a full snapshot of the database into the store
+// under its own name: immutable content-addressed chunk files plus a
+// checksummed manifest recording the database's storage fingerprint.
+func PersistDatabase(store *SegmentStore, db *Database) (*SegmentManifest, error) {
+	return store.Persist(db)
+}
+
+// OpenDatabase reconstructs a persisted database from the store,
+// verifying every chunk's checksum and the whole-database fingerprint —
+// the loaded database is byte-identical to the one persisted or the load
+// fails with an error naming the corrupt chunk.
+func OpenDatabase(store *SegmentStore, name string) (*Database, *SegmentLoadInfo, error) {
+	return store.Load(name)
 }
 
 // Text returns a text value.

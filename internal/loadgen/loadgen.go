@@ -15,10 +15,8 @@
 package loadgen
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"math"
 	"math/rand"
 
 	"github.com/duoquest/duoquest/internal/sqlir"
@@ -426,40 +424,46 @@ func insertRows(t *storage.Table, cols []storage.ColumnData, n int) {
 // bits, and dictionary contents in code order — into one FNV-1a sum. Two
 // databases with byte-identical columnar state (same values, same dict
 // code assignment, same null bitmaps) have equal fingerprints; the
-// determinism test requires exactly this across two same-seed runs, and
-// the ingestion equivalence test requires it across the bulk and row
-// paths.
+// determinism test requires exactly this across two same-seed runs, the
+// ingestion equivalence test requires it across the bulk and row paths,
+// and the segment store requires it across a persist→load round trip. The
+// implementation lives with the vectors (storage.Fingerprint); this
+// wrapper keeps the historical loadgen call sites working.
 func Fingerprint(db *storage.Database) uint64 {
+	return storage.Fingerprint(db)
+}
+
+// SpecKey returns the content address of the database Generate(spec, seed)
+// produces: the database name plus a short hash over every generation knob,
+// so two specs that would generate different bytes can never share a
+// segment-store cache entry. The load harness persists generated databases
+// under this key and reloads them on later runs instead of regenerating.
+func SpecKey(spec Spec, seed int64) string {
+	spec = spec.withDefaults()
 	h := fnv.New64a()
-	var buf [8]byte
-	word := func(u uint64) {
-		binary.LittleEndian.PutUint64(buf[:], u)
-		h.Write(buf[:])
-	}
-	for _, t := range db.Schema.Tables {
-		h.Write([]byte(t.Name))
-		for _, c := range t.Columns {
-			h.Write([]byte(c.Name))
-			vec := t.Vector(c.Name)
-			word(uint64(vec.Len()))
-			if d := vec.Dict(); d != nil {
-				for _, s := range d.Strings() {
-					h.Write([]byte(s))
-					h.Write([]byte{0})
-				}
-			}
-			for i := 0; i < vec.Len(); i++ {
-				if vec.IsNull(i) {
-					word(1<<63 | 1)
-					continue
-				}
-				if c.Type == sqlir.TypeText {
-					word(uint64(vec.Code(i)))
-				} else {
-					word(math.Float64bits(vec.Num(i)))
-				}
-			}
+	fmt.Fprintf(h, "%s|%d|%d|%g|%g|%d|%d", spec.Name, spec.Tables, spec.Rows, spec.ZipfS, spec.NullRate, spec.DictCap, seed)
+	return fmt.Sprintf("%s-%d-s%d-%08x", spec.Name, spec.Rows, seed, uint32(h.Sum64()))
+}
+
+// FromPersisted couples a database loaded from a segment store with the
+// deterministic recipe for (spec, seed), so task and probe synthesis work
+// identically on loaded and freshly generated databases. Only the plan is
+// rebuilt — the expensive payload generation is exactly what the caller
+// avoided by loading. The loaded schema is validated against the plan; a
+// mismatch means the cache entry was persisted under the wrong key.
+func FromPersisted(db *storage.Database, spec Spec, seed int64) (*Generated, error) {
+	p := buildPlan(spec, seed)
+	for _, tp := range p.tables {
+		t := db.Table(tp.name)
+		if t == nil {
+			return nil, fmt.Errorf("loadgen: persisted database %s lacks table %s for spec %+v seed %d", db.Name, tp.name, spec, seed)
+		}
+		if t.NumRows() != tp.rows {
+			return nil, fmt.Errorf("loadgen: persisted table %s.%s has %d rows, spec wants %d", db.Name, tp.name, t.NumRows(), tp.rows)
+		}
+		if len(t.Columns) != len(tp.cols) {
+			return nil, fmt.Errorf("loadgen: persisted table %s.%s has %d columns, spec wants %d", db.Name, tp.name, len(t.Columns), len(tp.cols))
 		}
 	}
-	return h.Sum64()
+	return &Generated{DB: db, Spec: p.spec, Seed: seed, plan: p}, nil
 }

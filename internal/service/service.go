@@ -159,6 +159,7 @@ type dbState struct {
 	eng   *Engine
 	db    *storage.Database
 	cache *verify.Cache
+	prov  Provenance
 
 	idxOnce sync.Once
 	idx     *autocomplete.Index
@@ -232,11 +233,41 @@ func (e *Engine) execCtx(ctx context.Context) context.Context {
 	return ctx
 }
 
+// Provenance records where a registered database's bytes came from — built
+// in memory by this process, or reconstructed from a durable segment store
+// — and, for disk loads, what the load touched. Surfaced through
+// DBStats.Storage and /stats so an operator can tell a cold-started replica
+// from a freshly ingested one.
+type Provenance struct {
+	// Source is "memory" for databases built in-process or "disk" for
+	// databases reconstructed from a segment store.
+	Source string
+	// Segments and Chunks count what the load replayed (disk only).
+	Segments int
+	Chunks   int
+	// ManifestHash is the checksum of the manifest that vouched for the
+	// load (disk only).
+	ManifestHash string
+	// LoadDuration is the cold-start wall time (disk only).
+	LoadDuration time.Duration
+}
+
 // Register adds a database to the engine's registry and builds its shared
 // caches. It fails on a duplicate name; databases cannot be unregistered.
+// The database is recorded as built in memory; use RegisterWithProvenance
+// for databases loaded from a segment store.
 func (e *Engine) Register(db *storage.Database) error {
+	return e.RegisterWithProvenance(db, Provenance{Source: "memory"})
+}
+
+// RegisterWithProvenance is Register with an explicit record of where the
+// database came from.
+func (e *Engine) RegisterWithProvenance(db *storage.Database, prov Provenance) error {
 	if db == nil {
 		return errors.New("service: nil database")
+	}
+	if prov.Source == "" {
+		prov.Source = "memory"
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -247,6 +278,7 @@ func (e *Engine) Register(db *storage.Database) error {
 		eng:   e,
 		db:    db,
 		cache: verify.NewCache(db),
+		prov:  prov,
 		lat:   make([]time.Duration, e.opts.LatencyWindow),
 		cret:  make([]time.Duration, e.opts.LatencyWindow),
 	}

@@ -50,6 +50,9 @@ type StorageStats struct {
 	DictBytes   int64 // interned string dictionaries
 	Tables      []storage.TableFootprint
 	Dicts       []DictStats // text columns only, schema order
+	// Provenance records whether the database was built in memory or
+	// loaded from a durable segment store, and what the load cost.
+	Provenance Provenance
 }
 
 // DBStats is the aggregated serving view of one registered database.
@@ -146,6 +149,7 @@ func (ds *dbState) snapshot() DBStats {
 		out.Cache.MorselEfficiency = out.Cache.AvgMorselWorkers / float64(pq)
 	}
 	out.Storage = storageStats(ds.db)
+	out.Storage.Provenance = ds.prov
 	return out
 }
 

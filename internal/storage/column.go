@@ -23,6 +23,12 @@ import (
 type Dict struct {
 	strs  []string
 	codes map[string]uint32
+	// blob, when non-empty, is the concatenation of strs in code order — the
+	// segment loader slices a bulk-adopted dictionary out of one backing
+	// string and records it here, letting columnFingerprint fold the whole
+	// dictionary as a word stream instead of string by string. Cleared the
+	// moment strs diverges from it (intern appending a new entry).
+	blob string
 	// mapOnce gates the lazy build of codes: a bulk dictionary adoption
 	// (appendBulk) leaves the map nil so loading never pays for hashing,
 	// and the first intern or Lookup builds it from strs exactly once.
@@ -62,6 +68,7 @@ func (d *Dict) intern(s string) uint32 {
 	c := uint32(len(d.strs))
 	d.strs = append(d.strs, s)
 	d.codes[s] = c
+	d.blob = "" // strs no longer matches the adopted concatenation
 	return c
 }
 
@@ -179,6 +186,21 @@ func (v *ColumnVec) appendValue(val sqlir.Value) {
 		v.codes = append(v.codes, v.dict.intern(val.Text))
 	}
 }
+
+// RawNums returns the numeric value slice (nil for text columns). NULL rows
+// hold a zero placeholder; consult the null bitmap. The slice is the
+// vector's live backing storage — callers must treat it as read-only. The
+// segment store serializes columns from this without per-row calls.
+func (v *ColumnVec) RawNums() []float64 { return v.nums }
+
+// RawCodes returns the dictionary-code slice (nil for numeric columns).
+// NULL rows hold a zero placeholder. Read-only, like RawNums.
+func (v *ColumnVec) RawCodes() []uint32 { return v.codes }
+
+// RawNullWords returns the null bitmap as 64-bit words (bit i of word i/64
+// set = row i is NULL; trailing bits of the last word are zero). Read-only,
+// like RawNums.
+func (v *ColumnVec) RawNullWords() []uint64 { return v.nulls }
 
 // vectorBytes estimates the vector's memory footprint excluding the
 // dictionary (reported separately).

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// readChunkBytes falls back to a plain heap read where mmap is unavailable.
+func readChunkBytes(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

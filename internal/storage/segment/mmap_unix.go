@@ -1,0 +1,40 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// readChunkBytes maps a chunk file read-only instead of copying it onto the
+// heap. The decoded vectors alias the mapping (see asFloat64s/asUint32s and
+// the dictionary blob), so a loaded database's chunk bytes stay backed by
+// the page cache — clean, evictable pages the kernel can reclaim under
+// pressure — and the cold start never pays the read(2) copy. The mapping is
+// intentionally never munmapped: it must outlive the database that aliases
+// it, and chunk files are immutable, so holding it is safe. PROT_READ means
+// any accidental write through an aliasing slice faults loudly instead of
+// corrupting the store.
+func readChunkBytes(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		// Empty (invalid anyway — chunks start with a 16-byte header) or
+		// absurdly large: let the copying path produce the decode error.
+		return os.ReadFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

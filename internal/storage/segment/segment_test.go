@@ -1,0 +1,392 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/duoquest/duoquest/internal/loadgen"
+	"github.com/duoquest/duoquest/internal/sqlexec"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
+)
+
+// handBuilt returns a small database exercising every storage feature the
+// chunk codec must round-trip: text dictionaries, NULLs in both column
+// types, an FK constraint, and an empty table.
+func handBuilt(t *testing.T) *storage.Database {
+	t.Helper()
+	genres := storage.NewTable("genres", "id",
+		storage.Column{Name: "id", Type: sqlir.TypeNumber},
+		storage.Column{Name: "name", Type: sqlir.TypeText},
+	)
+	movies := storage.NewTable("movies", "id",
+		storage.Column{Name: "id", Type: sqlir.TypeNumber},
+		storage.Column{Name: "title", Type: sqlir.TypeText},
+		storage.Column{Name: "genre_id", Type: sqlir.TypeNumber},
+		storage.Column{Name: "rating", Type: sqlir.TypeNumber},
+	)
+	empty := storage.NewTable("empty", "id",
+		storage.Column{Name: "id", Type: sqlir.TypeNumber},
+		storage.Column{Name: "note", Type: sqlir.TypeText},
+	)
+	schema := storage.NewSchema(genres, movies, empty)
+	schema.AddForeignKey("movies", "genre_id", "genres", "id")
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	genres.MustInsert(sqlir.NewNumber(1), sqlir.NewText("drama"))
+	genres.MustInsert(sqlir.NewNumber(2), sqlir.NewText("comedy"))
+	movies.MustInsert(sqlir.NewNumber(1), sqlir.NewText("Alpha"), sqlir.NewNumber(1), sqlir.NewNumber(8.1))
+	movies.MustInsert(sqlir.NewNumber(2), sqlir.Null(), sqlir.NewNumber(2), sqlir.Null())
+	movies.MustInsert(sqlir.NewNumber(3), sqlir.NewText("Alpha"), sqlir.NewNumber(1), sqlir.NewNumber(6.5))
+	return storage.NewDatabase("handbuilt", schema)
+}
+
+// mustPersist persists db into a fresh store under a temp dir.
+func mustPersist(t *testing.T, db *storage.Database) (*Store, *Manifest) {
+	t.Helper()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Persist(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, m
+}
+
+func TestRoundTripHandBuilt(t *testing.T) {
+	db := handBuilt(t)
+	want := storage.Fingerprint(db)
+	store, m := mustPersist(t, db)
+
+	if m.Fingerprint != fmt.Sprintf("%016x", want) {
+		t.Fatalf("manifest fingerprint %s, database %016x", m.Fingerprint, want)
+	}
+	// Three tables, one of them empty: two segments.
+	if got := m.Segments(); got != 2 {
+		t.Fatalf("segments = %d, want 2", got)
+	}
+
+	loaded, info, err := store.Load(db.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := storage.Fingerprint(loaded); got != want {
+		t.Fatalf("loaded fingerprint %016x, want %016x", got, want)
+	}
+	if info.Tables != 3 || info.Segments != 2 || info.Chunks != 6 {
+		t.Fatalf("info = %+v, want 3 tables / 2 segments / 6 chunks", info)
+	}
+	if loaded.Table("empty").NumRows() != 0 {
+		t.Fatal("empty table gained rows")
+	}
+	if len(loaded.Schema.ForeignKeys) != 1 {
+		t.Fatalf("foreign keys = %d, want 1", len(loaded.Schema.ForeignKeys))
+	}
+	// NULLs must survive as NULLs, not zero values.
+	mv := loaded.Table("movies")
+	if v := mv.Row(1)[1]; !v.IsNull() {
+		t.Fatalf("movies row 1 title = %v, want NULL", v)
+	}
+	if v := mv.Row(1)[3]; !v.IsNull() {
+		t.Fatalf("movies row 1 rating = %v, want NULL", v)
+	}
+}
+
+// TestRoundTripProperty persists and reloads generated databases across the
+// NULL-rate and skew grid, asserting fingerprint identity and — as a
+// differential oracle — that verification probes answer identically against
+// the loaded database and the never-persisted original.
+func TestRoundTripProperty(t *testing.T) {
+	rowCounts := []int{10_000, 100_000}
+	if testing.Short() {
+		rowCounts = []int{10_000}
+	}
+	for _, rows := range rowCounts {
+		for _, nullRate := range []float64{-1, 0.35} {
+			for _, zipf := range []float64{1.1, 2.0} {
+				name := fmt.Sprintf("rows=%d/null=%g/zipf=%g", rows, nullRate, zipf)
+				t.Run(name, func(t *testing.T) {
+					spec := loadgen.Spec{Name: "prop", Tables: 5, Rows: rows, NullRate: nullRate, ZipfS: zipf}
+					g, err := loadgen.Generate(spec, 42)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := storage.Fingerprint(g.DB)
+					store, _ := mustPersist(t, g.DB)
+					loaded, _, err := store.Load(g.DB.Name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := storage.Fingerprint(loaded); got != want {
+						t.Fatalf("loaded fingerprint %016x, want %016x", got, want)
+					}
+					for pi, eq := range g.Probes(40, 7) {
+						gotHit, err1 := sqlexec.Exists(loaded, eq)
+						wantHit, err2 := sqlexec.Exists(g.DB, eq)
+						if err1 != nil || err2 != nil {
+							t.Fatalf("probe %d: %v / %v", pi, err1, err2)
+						}
+						if gotHit != wantHit {
+							t.Fatalf("probe %d: loaded says %v, original says %v", pi, gotHit, wantHit)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAppendSegment checks the incremental flush path: bulk batches applied
+// through AppendSegment land as extra segments, and a load replays them to
+// the exact same bytes.
+func TestAppendSegment(t *testing.T) {
+	db := handBuilt(t)
+	store, _ := mustPersist(t, db)
+
+	batch := []storage.ColumnData{
+		{Nums: []float64{4, 5}},
+		{Texts: []string{"Beta", "Alpha"}, Nulls: []bool{false, false}},
+		{Nums: []float64{2, 1}},
+		{Nums: []float64{0, 7.5}, Nulls: []bool{true, false}},
+	}
+	if err := store.AppendSegment(db.Name, db, "movies", batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("movies").NumRows(); got != 5 {
+		t.Fatalf("movies rows = %d, want 5", got)
+	}
+	m, err := store.Manifest(db.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Segments(); got != 3 {
+		t.Fatalf("segments = %d, want 3", got)
+	}
+	loaded, _, err := store.Load(db.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := storage.Fingerprint(loaded), storage.Fingerprint(db); got != want {
+		t.Fatalf("loaded fingerprint %016x, want %016x", got, want)
+	}
+	if v := loaded.Table("movies").Row(3)[3]; !v.IsNull() {
+		t.Fatalf("appended NULL came back %v", v)
+	}
+}
+
+// firstChunkPath returns the path and address of one chunk of the persisted
+// database, preferring a text column so dictionary bytes are in play.
+func firstChunkPath(t *testing.T, store *Store, name string) (string, string) {
+	t.Helper()
+	m, err := store.Manifest(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range m.Tables {
+		for _, seg := range mt.Segments {
+			for ci, addr := range seg.Chunks {
+				if mt.Columns[ci].Type == "text" {
+					return filepath.Join(store.Dir(), name, "chunks", addr), addr
+				}
+			}
+		}
+	}
+	t.Fatal("no text chunk found")
+	return "", ""
+}
+
+func TestCorruptChunkDetected(t *testing.T) {
+	db := handBuilt(t)
+	store, _ := mustPersist(t, db)
+	path, addr := firstChunkPath(t, store, db.Name)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = store.Load(db.Name)
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ChunkError, got %v", err)
+	}
+	if ce.Chunk != addr {
+		t.Fatalf("error names chunk %s, corrupted %s", ce.Chunk, addr)
+	}
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("want ErrChecksumMismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("error message does not name the chunk: %v", err)
+	}
+}
+
+func TestMissingChunkDetected(t *testing.T) {
+	db := handBuilt(t)
+	store, _ := mustPersist(t, db)
+	path, addr := firstChunkPath(t, store, db.Name)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := store.Load(db.Name)
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ChunkError, got %v", err)
+	}
+	if ce.Chunk != addr {
+		t.Fatalf("error names chunk %s, deleted %s", ce.Chunk, addr)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want os.ErrNotExist in chain, got %v", err)
+	}
+}
+
+func TestTruncatedManifestDetected(t *testing.T) {
+	db := handBuilt(t)
+	store, _ := mustPersist(t, db)
+	path := filepath.Join(store.Dir(), db.Name, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Load(db.Name); err == nil ||
+		!strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("want manifest error, got %v", err)
+	}
+}
+
+func TestEditedManifestDetected(t *testing.T) {
+	db := handBuilt(t)
+	store, _ := mustPersist(t, db)
+	path := filepath.Join(store.Dir(), db.Name, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(data), `"rows": 3`, `"rows": 4`, 1)
+	if edited == string(data) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Load(db.Name); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+// TestChunkDedupe: re-persisting the same database writes no new chunk
+// files, and persisting under a second name shares every chunk address.
+func TestChunkDedupe(t *testing.T) {
+	db := handBuilt(t)
+	store, m1 := mustPersist(t, db)
+	countChunks := func() int {
+		entries, err := os.ReadDir(filepath.Join(store.Dir(), db.Name, "chunks"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(entries)
+	}
+	before := countChunks()
+	m2, err := store.Persist(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := countChunks(); after != before {
+		t.Fatalf("re-persist grew chunk dir %d -> %d", before, after)
+	}
+	if m1.Fingerprint != m2.Fingerprint {
+		t.Fatalf("fingerprint drifted across persists: %s vs %s", m1.Fingerprint, m2.Fingerprint)
+	}
+}
+
+func TestStoreNameValidation(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := handBuilt(t)
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "../escape"} {
+		if _, err := store.PersistAs(bad, db); err == nil {
+			t.Fatalf("PersistAs(%q) accepted", bad)
+		}
+		if store.Has(bad) {
+			t.Fatalf("Has(%q) = true", bad)
+		}
+		if _, _, err := store.Load(bad); err == nil {
+			t.Fatalf("Load(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHasAndList(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Has("handbuilt") {
+		t.Fatal("Has on empty store")
+	}
+	if _, err := store.Persist(handBuilt(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Has("handbuilt") {
+		t.Fatal("Has after persist")
+	}
+	// A stray directory without a manifest is not a database.
+	if err := os.MkdirAll(filepath.Join(store.Dir(), "stray"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "handbuilt" {
+		t.Fatalf("List = %v, want [handbuilt]", names)
+	}
+}
+
+// TestLoadIsolation: a corrupt entry fails alone; a healthy sibling in the
+// same store still loads.
+func TestLoadIsolation(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := handBuilt(t)
+	if _, err := store.PersistAs("good", db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.PersistAs("bad", db); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := firstChunkPath(t, store, "bad")
+	if err := os.Truncate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Load("bad"); err == nil {
+		t.Fatal("corrupt entry loaded")
+	}
+	loaded, _, err := store.Load("good")
+	if err != nil {
+		t.Fatalf("healthy sibling failed: %v", err)
+	}
+	if got, want := storage.Fingerprint(loaded), storage.Fingerprint(db); got != want {
+		t.Fatalf("sibling fingerprint %016x, want %016x", got, want)
+	}
+}
