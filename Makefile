@@ -81,9 +81,14 @@ bench-loadgen:
 # layer: per-request caches (baseline) vs the shared cold and warm engine —
 # plus the chaos harness's cancel-to-return sweep (cmd/duoquest-loadtest
 # -chaos), which both gates clean-vs-faulty result equivalence and records
-# the deadline-fire-to-return quantiles at each data scale.
+# the deadline-fire-to-return quantiles at each data scale, and the mixed
+# read/write epoch scenario (-write-frac 0.1): live Engine.Append traffic
+# interleaved with reads, recording the read p95 under ingest as
+# BenchmarkLoadtestMixedRW (its ns/op IS the mixed p95, so the benchjson
+# gate regresses it like any other benchmark; the harness also warns when
+# it exceeds 1.5x the same run's read-only baseline).
 bench-server:
-	@{ go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem && go run ./cmd/duoquest-loadtest -chaos -scale small -c 4 -data-dir $(DATA_DIR); } > bench.out; \
+	@{ go test ./cmd/duoquest-server -run '^$$' -bench BenchmarkServerThroughput -benchtime 5x -benchmem && go run ./cmd/duoquest-loadtest -chaos -scale small -c 4 -data-dir $(DATA_DIR) && go run ./cmd/duoquest-loadtest -scale small -c 4 -requests 192 -write-frac 0.1 -sweep "" -data-dir $(DATA_DIR); } > bench.out; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat bench.out; rm -f bench.out; exit $$status; fi; \
 	go run ./cmd/benchjson -out BENCH_server.json < bench.out; \

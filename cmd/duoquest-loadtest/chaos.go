@@ -23,6 +23,7 @@ import (
 	"github.com/duoquest/duoquest/internal/faultinject"
 	"github.com/duoquest/duoquest/internal/loadgen"
 	"github.com/duoquest/duoquest/internal/service"
+	"github.com/duoquest/duoquest/internal/storage"
 	"github.com/duoquest/duoquest/internal/storage/segment"
 )
 
@@ -105,7 +106,160 @@ func runChaos(cfg config, store *segment.Store, cancelScales []int, stdout, stde
 	if err := chaosMixed(cfg, g, eng, inputs, ref, stderr); err != nil {
 		return err
 	}
+	if err := chaosIngestStall(cfg, g, eng, inputs, ref, stderr); err != nil {
+		return err
+	}
 	return chaosCancelSweep(cfg, store, cancelScales, eng, stdout, stderr)
+}
+
+// chaosIngestStall proves snapshot isolation under faulty ingest: a reader
+// pinned to the pre-ingest epoch re-runs every reference task while a writer
+// hammers the largest table with appends whose batches draw injected stalls.
+// Stalls may only cost the writer time — every pinned result must stay
+// byte-identical to the fault-free reference captured before any ingest, and
+// the pinned epoch's warm caches must see zero evictions throughout.
+func chaosIngestStall(cfg config, g *loadgen.Generated, eng *service.Engine, inputs []service.Input, ref []string, stderr io.Writer) error {
+	sn, err := eng.Snapshot(g.DB.Name)
+	if err != nil {
+		return err
+	}
+	pinEpoch := sn.Epoch()
+	ds0, ok := dbStats(eng, g.DB.Name)
+	if !ok {
+		return fmt.Errorf("ingest-stall: no stats for %s", g.DB.Name)
+	}
+	pathsBefore := epochJoinPaths(ds0, pinEpoch)
+
+	// Writes run under a process-global ingest-stall schedule (Engine.Append
+	// carries no request context, so the global injector is the seam).
+	ing := faultinject.New(faultinject.Config{
+		Seed:        cfg.chaosSeed + 7,
+		IngestRate:  0.1,
+		IngestStall: 200 * time.Microsecond,
+	})
+	faultinject.SetGlobal(ing)
+	defer faultinject.SetGlobal(nil)
+
+	// Batch content is captured from the pinned snapshot, so it does not
+	// depend on how writes and reads interleave.
+	var seedTable *storage.Table
+	for _, t := range sn.Database().Schema.Tables {
+		if seedTable == nil || t.NumRows() > seedTable.NumRows() {
+			seedTable = t
+		}
+	}
+
+	stop := make(chan struct{})
+	var (
+		writes   atomic.Int64
+		writeErr atomic.Pointer[error]
+		wwg      sync.WaitGroup
+	)
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		base := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Append(g.DB.Name, seedTable.Name, ingestBatch(seedTable, base, 32)); err != nil {
+				writeErr.Store(&err)
+				return
+			}
+			base += 32
+			writes.Add(1)
+		}
+	}()
+
+	var (
+		mmMu       sync.Mutex
+		mismatches []string
+		next       atomic.Int64
+		rwg        sync.WaitGroup
+	)
+	fail := func(msg string) {
+		mmMu.Lock()
+		if len(mismatches) < 5 {
+			mismatches = append(mismatches, msg)
+		}
+		mmMu.Unlock()
+	}
+	const rounds = 2
+	total := int64(rounds * len(inputs))
+	for w := 0; w < cfg.workers; w++ {
+		// Even workers read through the pinned Snapshot handle, odd workers
+		// through a plain session with the epoch pinned per request — the
+		// two API routes to the same shard must behave identically.
+		usePin := w%2 == 0
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			sess := sn.Session
+			if !usePin {
+				var serr error
+				if sess, serr = eng.Session(g.DB.Name); serr != nil {
+					fail(fmt.Sprintf("ingest-stall session: %v", serr))
+					return
+				}
+			}
+			for {
+				i := next.Add(1) - 1
+				if i >= total {
+					return
+				}
+				idx := int(i) % len(inputs)
+				in := inputs[idx]
+				if !usePin {
+					in.Epoch = pinEpoch
+				}
+				res, err := sess.Synthesize(context.Background(), in)
+				if err != nil {
+					fail(fmt.Sprintf("pinned request %d (task %d) failed under ingest: %v", i, idx, err))
+					continue
+				}
+				if sig := resultSig(res); sig != ref[idx] {
+					fail(fmt.Sprintf("pinned request %d (task %d) diverged under faulty ingest:\n--- reference\n%s--- got\n%s",
+						i, idx, ref[idx], sig))
+				}
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wwg.Wait()
+	if ep := writeErr.Load(); ep != nil {
+		return fmt.Errorf("ingest-stall writer: %w", *ep)
+	}
+	batches, stalls := ing.Counts(faultinject.SiteIngest)
+	ds, ok := dbStats(eng, g.DB.Name)
+	if !ok {
+		return fmt.Errorf("ingest-stall: no stats for %s", g.DB.Name)
+	}
+	pathsAfter := epochJoinPaths(ds, pinEpoch)
+	fmt.Fprintf(stderr, "chaos: ingest-stall: %d pinned reads at epoch %d (all byte-identical to reference: %v) under %d appends (%d/%d batches stalled), head epoch %d, pinned join paths %d -> %d\n",
+		total, pinEpoch, len(mismatches) == 0, writes.Load(), stalls, batches, ds.HeadEpoch, pathsBefore, pathsAfter)
+	if len(mismatches) > 0 {
+		return fmt.Errorf("chaos ingest-stall isolation gate failed:\n%s", strings.Join(mismatches, "\n"))
+	}
+	if pathsAfter < pathsBefore {
+		return fmt.Errorf("chaos ingest-stall: pinned epoch %d cache shrank from %d to %d join paths under ingest (want zero evictions)",
+			pinEpoch, pathsBefore, pathsAfter)
+	}
+	return nil
+}
+
+// epochJoinPaths returns the materialized join-path count of one epoch's
+// cache shard (0 when the shard is not in the stats ring).
+func epochJoinPaths(ds service.DBStats, epoch int64) int {
+	for _, ep := range ds.Epochs {
+		if ep.Epoch == epoch {
+			return ep.JoinPaths
+		}
+	}
+	return 0
 }
 
 // chaosReference runs every task once, sequentially and fault-free, and

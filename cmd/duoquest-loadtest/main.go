@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,6 +37,8 @@ import (
 	"github.com/duoquest/duoquest/internal/dataset"
 	"github.com/duoquest/duoquest/internal/loadgen"
 	"github.com/duoquest/duoquest/internal/service"
+	"github.com/duoquest/duoquest/internal/sqlir"
+	"github.com/duoquest/duoquest/internal/storage"
 	"github.com/duoquest/duoquest/internal/storage/segment"
 )
 
@@ -56,6 +59,9 @@ type config struct {
 	qworkers   int
 	morselSize int
 	dataDir    string
+	writeFrac  float64
+	writeRows  int
+	cpuProfile string
 
 	// chaos mode (see chaos.go): replaces the normal phases.
 	chaos       bool
@@ -90,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&cfg.qworkers, "query-workers", 0, "engine-wide intra-query morsel workers per scan (0 = follow engine workers, 1 = single-threaded scans)")
 	fs.IntVar(&cfg.morselSize, "morsel-size", 0, "scan rows per morsel (0 = executor default 4096; rounded up to 64)")
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "segment store directory: cache generated databases by spec+seed content address and cold-start from disk on a hit (empty = always regenerate)")
+	fs.Float64Var(&cfg.writeFrac, "write-frac", 0, "mixed read/write phase: fraction of requests that are Engine.Append batches instead of syntheses (0 disables the phase)")
+	fs.IntVar(&cfg.writeRows, "write-rows", 128, "rows per Engine.Append batch in the mixed phase")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the load phases to this file")
 	fs.BoolVar(&cfg.chaos, "chaos", false, "chaos mode: clean reference pass, mixed faulty/clean traffic with an equivalence gate, then a cancel-to-return sweep (replaces the normal phases)")
 	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 7, "fault-schedule seed (same seed, same faults)")
 	fs.StringVar(&cfg.cancelSweep, "cancel-sweep", "10000,100000,300000", "comma-separated row counts for the chaos cancel-to-return sweep")
@@ -100,6 +109,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if cfg.workers < 1 || cfg.requests < 1 || cfg.tasks < 1 {
 		return fmt.Errorf("-c, -requests, and -tasks must all be >= 1 (got %d, %d, %d)",
 			cfg.workers, cfg.requests, cfg.tasks)
+	}
+	if cfg.writeFrac < 0 || cfg.writeFrac >= 1 {
+		return fmt.Errorf("-write-frac must be in [0, 1), got %g", cfg.writeFrac)
+	}
+	if cfg.writeRows < 1 {
+		return fmt.Errorf("-write-rows must be >= 1, got %d", cfg.writeRows)
 	}
 	// Parse the sweep lists up front so a malformed flag fails before the
 	// generation and load phases spend their time.
@@ -173,8 +188,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if err := driveSessions(cfg, g, eng, stdout, stderr); err != nil {
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	readP95, err := driveSessions(cfg, g, eng, stdout, stderr)
+	if err != nil {
 		return err
+	}
+	if cfg.writeFrac > 0 {
+		if err := driveMixed(cfg, g, eng, readP95, stdout, stderr); err != nil {
+			return err
+		}
 	}
 	return driveSweep(cfg, store, sweepScales, eng, stdout, stderr)
 }
@@ -237,11 +270,13 @@ func synthInputs(cfg config, g *loadgen.Generated) ([]service.Input, error) {
 	return inputs, nil
 }
 
-// driveSessions runs the closed-loop synthesis phase.
-func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout, stderr io.Writer) error {
+// driveSessions runs the closed-loop synthesis phase and returns the
+// read-only p95 latency — the baseline the mixed read/write phase compares
+// against.
+func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout, stderr io.Writer) (time.Duration, error) {
 	inputs, err := synthInputs(cfg, g)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Fprintf(stderr, "synthesized %d NLQ+TSQ tasks; driving %d requests over %d sessions\n",
 		len(inputs), cfg.requests, cfg.workers)
@@ -289,7 +324,7 @@ func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout
 	elapsed := time.Since(start)
 
 	if int(errCount.Load()) == cfg.requests {
-		return fmt.Errorf("all %d requests failed", cfg.requests)
+		return 0, fmt.Errorf("all %d requests failed", cfg.requests)
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	p50 := quantile(latencies, 0.50)
@@ -306,6 +341,164 @@ func driveSessions(cfg config, g *loadgen.Generated, eng *service.Engine, stdout
 	fmt.Fprintf(stdout, "BenchmarkLoadtestSynthesize/scale=%s \t %d \t %d ns/op \t %.2f req/s \t %.3f p50-ms \t %.3f p95-ms \t %.3f p99-ms\n",
 		cfg.scale, cfg.requests, meanNs(latencies), reqPerSec,
 		float64(p50)/1e6, float64(p95)/1e6, float64(p99)/1e6)
+	return p95, nil
+}
+
+// isWrite deterministically spreads the write fraction over the request
+// index sequence: request i is a write when crossing the next frac step.
+// The same -write-frac therefore always produces the same interleave, no
+// matter how the closed-loop workers race.
+func isWrite(i int64, frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	return int64(float64(i)*frac) != int64(float64(i-1)*frac)
+}
+
+// ingestBatch builds one Engine.Append payload by cycling rows of a frozen
+// snapshot table, starting at row offset base — deterministic, schema-exact,
+// and dictionary-friendly (existing strings re-intern to existing codes).
+func ingestBatch(tb *storage.Table, base, n int) []storage.ColumnData {
+	rows := tb.NumRows()
+	cols := make([]storage.ColumnData, len(tb.Columns))
+	for ci, c := range tb.Columns {
+		vec := tb.Vector(c.Name)
+		nulls := make([]bool, n)
+		hasNull := false
+		cd := storage.ColumnData{}
+		if c.Type == sqlir.TypeNumber {
+			cd.Nums = make([]float64, n)
+		} else {
+			cd.Texts = make([]string, n)
+		}
+		for j := 0; j < n; j++ {
+			ri := (base + j) % rows
+			if vec.IsNull(ri) {
+				nulls[j] = true
+				hasNull = true
+				continue
+			}
+			if c.Type == sqlir.TypeNumber {
+				cd.Nums[j] = vec.Num(ri)
+			} else {
+				cd.Texts[j] = vec.Dict().String(vec.Code(ri))
+			}
+		}
+		if hasNull {
+			cd.Nulls = nulls
+		}
+		cols[ci] = cd
+	}
+	return cols
+}
+
+// driveMixed runs the mixed read/write phase: the same closed loop as
+// driveSessions, but -write-frac of the request slots become Engine.Append
+// batches publishing new epochs while the remaining syntheses resolve the
+// moving head. Read latency is the measurement; the phase's bench line
+// reports the read p95 as its ns/op so the benchjson regression gate bounds
+// exactly the acceptance metric (p95 under writes vs. the read-only
+// baseline).
+func driveMixed(cfg config, g *loadgen.Generated, eng *service.Engine, readP95 time.Duration, stdout, stderr io.Writer) error {
+	inputs, err := synthInputs(cfg, g)
+	if err != nil {
+		return err
+	}
+	// Writes cycle rows of the largest table, captured from the pre-phase
+	// snapshot so batch content does not depend on interleaving.
+	snap := g.DB.Snapshot()
+	var seedTable *storage.Table
+	for _, t := range snap.Schema.Tables {
+		if seedTable == nil || t.NumRows() > seedTable.NumRows() {
+			seedTable = t
+		}
+	}
+	startEpoch := g.DB.Epoch()
+	fmt.Fprintf(stderr, "mixed phase: %d requests, write-frac %.2f (%d-row batches into %s), %d sessions\n",
+		cfg.requests, cfg.writeFrac, cfg.writeRows, seedTable.Name, cfg.workers)
+
+	var (
+		next      atomic.Int64
+		errCount  atomic.Int64
+		writes    atomic.Int64
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	ctx := context.Background()
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := eng.Session(g.DB.Name)
+			if err != nil {
+				errCount.Add(1)
+				return
+			}
+			local := make([]time.Duration, 0, cfg.requests/cfg.workers+1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.requests) {
+					break
+				}
+				if isWrite(i, cfg.writeFrac) {
+					batch := ingestBatch(seedTable, int(i)*cfg.writeRows, cfg.writeRows)
+					if _, err := eng.Append(g.DB.Name, seedTable.Name, batch); err != nil {
+						errCount.Add(1)
+						continue
+					}
+					writes.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				_, err := sess.Synthesize(ctx, inputs[i%int64(len(inputs))])
+				local = append(local, time.Since(t0))
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(latencies) == 0 {
+		return fmt.Errorf("mixed phase ran no reads (write-frac %g too high for %d requests)", cfg.writeFrac, cfg.requests)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := quantile(latencies, 0.50)
+	p95 := quantile(latencies, 0.95)
+	p99 := quantile(latencies, 0.99)
+	ratio := 0.0
+	if readP95 > 0 {
+		ratio = float64(p95) / float64(readP95)
+	}
+	st := eng.Stats()
+	var lagMax int64
+	var lagAvg float64
+	for _, d := range st.Databases {
+		if d.Database == g.DB.Name {
+			lagMax, lagAvg = d.EpochLagMax, d.EpochLagAvg
+		}
+	}
+	fmt.Fprintf(stderr, "mixed: %d reads + %d writes in %v: read p50 %v, p95 %v, p99 %v (%.2fx read-only p95 %v), epochs %d..%d, lag max %d avg %.2f, %d errors\n",
+		len(latencies), writes.Load(), elapsed.Round(time.Millisecond),
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond),
+		ratio, readP95.Round(time.Microsecond), startEpoch, g.DB.Epoch(), lagMax, lagAvg, errCount.Load())
+	if ratio > 1.5 {
+		fmt.Fprintf(stderr, "WARNING: mixed read p95 is %.2fx the read-only baseline (budget 1.5x)\n", ratio)
+	}
+
+	// ns/op is the read p95 (not the mean): the regression gate compares
+	// ns/op, and p95-under-writes is the number the epoch design promises.
+	fmt.Fprintf(stdout, "BenchmarkLoadtestMixedRW/scale=%s \t %d \t %d ns/op \t %.3f p50-ms \t %.3f p95-ms \t %.3f p99-ms \t %.2f write-frac \t %d writes \t %.3f p95-vs-readonly\n",
+		cfg.scale, len(latencies), p95.Nanoseconds(),
+		float64(p50)/1e6, float64(p95)/1e6, float64(p99)/1e6,
+		cfg.writeFrac, writes.Load(), ratio)
 	return nil
 }
 

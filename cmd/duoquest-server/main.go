@@ -6,18 +6,26 @@
 //
 //	duoquest-server -addr :8080 -db mas -max-inflight 8 -max-queue 64
 //
-// Endpoints (all take ?db=<name>; the -db flag sets the default):
+// The versioned API takes one structured JSON body per request; every
+// synthesis runs against a pinned epoch snapshot of its database (epoch 0 =
+// latest), so concurrent ingest never tears a request's view:
 //
-//	POST /synthesize  {"nlq": "...", "literals": ["Europe", 50],
-//	                   "sketch": {"types": ["text"], "tuples": [["Oxford"]],
-//	                              "sorted": false, "limit": 0}}
-//	                  Add ?stream=1 (or Accept: application/x-ndjson) for
-//	                  NDJSON progressive display: one candidate per line as
-//	                  it is found, then a final "done" line.
-//	GET  /complete?q=SIG&max=10
-//	GET  /schema
-//	GET  /dbs
-//	GET  /stats
+//	POST /v1/synthesize  {"db": "mas", "nlq": "...", "literals": ["Europe", 50],
+//	                      "sketch": {"types": ["text"], "tuples": [["Oxford"]],
+//	                                 "sorted": false, "limit": 0},
+//	                      "deadline_ms": 2000, "epoch": 0, "stream": false}
+//	                     stream: true switches to NDJSON progressive display:
+//	                     one candidate per line as found, then a "done" line.
+//	POST /v1/complete    {"db": "mas", "prefix": "SIG", "max": 10}
+//	GET  /v1/schema?db=mas
+//	GET  /v1/dbs
+//	GET  /v1/stats
+//
+// The original unversioned endpoints remain as thin adapters over the same
+// cores — query parameters (?db=, ?deadline_ms=, ?epoch=, ?stream=1,
+// ?q=&max=) instead of body fields, byte-identical responses:
+//
+//	POST /synthesize   GET /complete   GET /schema   GET /dbs   GET /stats
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // run to completion within -shutdown-timeout.
@@ -178,8 +186,15 @@ func newServer(eng *duoquest.Engine, defaultDB string) (*server, error) {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", s.synthesize)
-	mux.HandleFunc("/complete", s.complete)
+	// Versioned API: structured JSON bodies for the POST surfaces.
+	mux.HandleFunc("/v1/synthesize", s.v1Synthesize)
+	mux.HandleFunc("/v1/complete", s.v1Complete)
+	mux.HandleFunc("/v1/schema", s.schema)
+	mux.HandleFunc("/v1/dbs", s.dbs)
+	mux.HandleFunc("/v1/stats", s.stats)
+	// Legacy adapters: query-parameter front doors onto the same cores.
+	mux.HandleFunc("/synthesize", s.legacySynthesize)
+	mux.HandleFunc("/complete", s.legacyComplete)
 	mux.HandleFunc("/schema", s.schema)
 	mux.HandleFunc("/dbs", s.dbs)
 	mux.HandleFunc("/stats", s.stats)
@@ -201,6 +216,25 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) *duoquest.Engin
 	return ses
 }
 
+// snapshot pins a read handle for one whole request — synthesis, previews,
+// and schema reads all observe the same epoch (0 = latest). Unknown
+// databases answer 404; a retired or never-published epoch answers 410.
+func (s *server) snapshot(w http.ResponseWriter, name string, epoch int64) *duoquest.EngineSnapshot {
+	if name == "" {
+		name = s.defaultDB
+	}
+	if _, err := s.eng.Session(name); err != nil {
+		http.Error(w, fmt.Sprintf("unknown database %q", name), http.StatusNotFound)
+		return nil
+	}
+	sn, err := s.eng.SnapshotAt(name, epoch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return nil
+	}
+	return sn
+}
+
 // sketchJSON is the wire form of a TSQ. Cells: string/number = exact,
 // null = empty, [lo, hi] = numeric range.
 type sketchJSON struct {
@@ -210,10 +244,24 @@ type sketchJSON struct {
 	Limit  int             `json:"limit,omitempty"`
 }
 
+// synthesizeRequest is the structured /v1/synthesize body. The legacy
+// /synthesize adapter fills the non-specification fields (db, deadline_ms,
+// epoch, stream) from query parameters instead.
 type synthesizeRequest struct {
+	// DB names the target database ("" = the server's -db default).
+	DB       string        `json:"db,omitempty"`
 	NLQ      string        `json:"nlq"`
 	Literals []interface{} `json:"literals,omitempty"`
 	Sketch   *sketchJSON   `json:"sketch,omitempty"`
+	// DeadlineMS is the request's wall-clock budget in milliseconds (0 =
+	// the server default); expiry returns a truncated partial result.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Epoch pins the request to a published database epoch (0 = latest).
+	// The whole request — synthesis and candidate previews — observes
+	// exactly that epoch's rows, regardless of concurrent ingest.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Stream switches to NDJSON progressive display.
+	Stream bool `json:"stream,omitempty"`
 }
 
 type candidateJSON struct {
@@ -227,6 +275,8 @@ type synthesizeResponse struct {
 	Candidates []candidateJSON `json:"candidates"`
 	States     int             `json:"states"`
 	ElapsedMS  int64           `json:"elapsed_ms"`
+	// Epoch is the published database epoch the request observed.
+	Epoch int64 `json:"epoch"`
 	// Truncated marks an anytime partial result: the deadline expired (or
 	// the request was cancelled) and candidates holds the deterministic
 	// prefix verified up to that point.
@@ -239,6 +289,7 @@ type streamLine struct {
 	Candidate *candidateJSON `json:"candidate,omitempty"`
 	States    int            `json:"states,omitempty"`
 	ElapsedMS int64          `json:"elapsed_ms,omitempty"`
+	Epoch     int64          `json:"epoch,omitempty"`
 	Truncated bool           `json:"truncated,omitempty"`
 	Error     string         `json:"error,omitempty"`
 }
@@ -281,18 +332,72 @@ func wantsStream(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 }
 
-func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
+// decodeSynthesize reads a synthesize body (shared by both API versions).
+func decodeSynthesize(w http.ResponseWriter, r *http.Request) (synthesizeRequest, bool) {
+	var req synthesizeRequest
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
+		return req, false
 	}
-	ses := s.session(w, r)
-	if ses == nil {
-		return
-	}
-	var req synthesizeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return req, false
+	}
+	return req, true
+}
+
+// legacySynthesize adapts the unversioned surface: routing fields come from
+// query parameters (?db=, ?deadline_ms=, ?epoch=, ?stream=1 or the NDJSON
+// Accept header) while the specification stays in the JSON body.
+func (s *server) legacySynthesize(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeSynthesize(w, r)
+	if !ok {
+		return
+	}
+	if db := r.URL.Query().Get("db"); db != "" {
+		req.DB = db
+	}
+	if ms := r.URL.Query().Get("deadline_ms"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("deadline_ms must be a positive integer, got %q", ms), http.StatusBadRequest)
+			return
+		}
+		req.DeadlineMS = int64(n)
+	}
+	if ep := r.URL.Query().Get("epoch"); ep != "" {
+		n, err := strconv.ParseInt(ep, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("epoch must be a non-negative integer, got %q", ep), http.StatusBadRequest)
+			return
+		}
+		req.Epoch = n
+	}
+	if wantsStream(r) {
+		req.Stream = true
+	}
+	s.runSynthesize(w, r, req)
+}
+
+// v1Synthesize is the versioned surface: one structured JSON body.
+func (s *server) v1Synthesize(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeSynthesize(w, r)
+	if !ok {
+		return
+	}
+	if wantsStream(r) {
+		req.Stream = true
+	}
+	s.runSynthesize(w, r, req)
+}
+
+// runSynthesize is the shared synthesis core: it pins an epoch snapshot for
+// the whole request (candidate previews included), runs the search against
+// it, and renders the buffered or streaming response. Legacy and v1
+// responses are identical by construction.
+func (s *server) runSynthesize(w http.ResponseWriter, r *http.Request, req synthesizeRequest) {
+	sn := s.snapshot(w, req.DB, req.Epoch)
+	if sn == nil {
 		return
 	}
 	if req.NLQ == "" {
@@ -316,21 +421,18 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		}
 		input.Sketch = sk
 	}
-	if ms := r.URL.Query().Get("deadline_ms"); ms != "" {
-		n, err := strconv.Atoi(ms)
-		if err != nil || n <= 0 {
-			http.Error(w, fmt.Sprintf("deadline_ms must be a positive integer, got %q", ms), http.StatusBadRequest)
-			return
-		}
-		// The engine clamps this to its -max-deadline.
-		input.Deadline = time.Duration(n) * time.Millisecond
-	}
-
-	if wantsStream(r) {
-		s.synthesizeStream(w, r, ses, input)
+	if req.DeadlineMS < 0 {
+		http.Error(w, fmt.Sprintf("deadline_ms must be non-negative, got %d", req.DeadlineMS), http.StatusBadRequest)
 		return
 	}
-	res, err := ses.Synthesize(r.Context(), input)
+	// The engine clamps this to its -max-deadline.
+	input.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+
+	if req.Stream {
+		s.synthesizeStream(w, r, sn, input)
+		return
+	}
+	res, err := sn.Synthesize(r.Context(), input)
 	if err != nil {
 		if errors.Is(err, duoquest.ErrOverloaded) {
 			s.writeOverloaded(w)
@@ -339,9 +441,14 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), synthesizeErrStatus(err))
 		return
 	}
-	resp := synthesizeResponse{States: res.States, ElapsedMS: res.Elapsed.Milliseconds(), Truncated: res.Truncated}
+	resp := synthesizeResponse{
+		States:    res.States,
+		ElapsedMS: res.Elapsed.Milliseconds(),
+		Epoch:     sn.Epoch(),
+		Truncated: res.Truncated,
+	}
 	for _, c := range res.Candidates {
-		resp.Candidates = append(resp.Candidates, s.candidateJSON(ses, c))
+		resp.Candidates = append(resp.Candidates, s.candidateJSON(sn.Session, c))
 	}
 	writeJSON(w, resp)
 }
@@ -352,7 +459,8 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 // that work runs on the search goroutine and counts against the request's
 // wall-clock budget, so under very tight budgets a streaming request can
 // emit fewer candidates than a buffered one before time runs out.
-func (s *server) synthesizeStream(w http.ResponseWriter, r *http.Request, ses *duoquest.EngineSession, input duoquest.Input) {
+func (s *server) synthesizeStream(w http.ResponseWriter, r *http.Request, sn *duoquest.EngineSnapshot, input duoquest.Input) {
+	ses := sn.Session
 	// Headers only hit the wire at the first write; http.Error on a
 	// pre-emission failure still replaces the content type.
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -392,7 +500,7 @@ func (s *server) synthesizeStream(w http.ResponseWriter, r *http.Request, ses *d
 		enc.Encode(streamLine{Type: "error", Error: err.Error()})
 		return
 	}
-	enc.Encode(streamLine{Type: "done", States: res.States, ElapsedMS: res.Elapsed.Milliseconds(), Truncated: res.Truncated})
+	enc.Encode(streamLine{Type: "done", States: res.States, ElapsedMS: res.Elapsed.Milliseconds(), Epoch: sn.Epoch(), Truncated: res.Truncated})
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -427,12 +535,12 @@ func (s *server) candidateJSON(ses *duoquest.EngineSession, c duoquest.Candidate
 	return cj
 }
 
-func (s *server) complete(w http.ResponseWriter, r *http.Request) {
+// legacyComplete adapts the unversioned GET surface (?q=&max=).
+func (s *server) legacyComplete(w http.ResponseWriter, r *http.Request) {
 	ses := s.session(w, r)
 	if ses == nil {
 		return
 	}
-	q := r.URL.Query().Get("q")
 	max := 10
 	if m := r.URL.Query().Get("max"); m != "" {
 		n, err := strconv.Atoi(m)
@@ -440,10 +548,50 @@ func (s *server) complete(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("max must be a positive integer, got %q", m), http.StatusBadRequest)
 			return
 		}
-		if n > maxCompleteResults {
-			n = maxCompleteResults
-		}
 		max = n
+	}
+	s.runComplete(w, ses, r.URL.Query().Get("q"), max)
+}
+
+// v1Complete takes a structured JSON body: {"db": ..., "prefix": ..., "max": ...}.
+func (s *server) v1Complete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		DB     string `json:"db,omitempty"`
+		Prefix string `json:"prefix"`
+		Max    int    `json:"max,omitempty"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	name := req.DB
+	if name == "" {
+		name = s.defaultDB
+	}
+	ses, err := s.eng.Session(name)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("unknown database %q", name), http.StatusNotFound)
+		return
+	}
+	if req.Max < 0 {
+		http.Error(w, fmt.Sprintf("max must be non-negative, got %d", req.Max), http.StatusBadRequest)
+		return
+	}
+	max := req.Max
+	if max == 0 {
+		max = 10
+	}
+	s.runComplete(w, ses, req.Prefix, max)
+}
+
+// runComplete is the shared autocomplete core.
+func (s *server) runComplete(w http.ResponseWriter, ses *duoquest.EngineSession, prefix string, max int) {
+	if max > maxCompleteResults {
+		max = maxCompleteResults
 	}
 	type hitJSON struct {
 		Value  string `json:"value"`
@@ -451,18 +599,20 @@ func (s *server) complete(w http.ResponseWriter, r *http.Request) {
 		Column string `json:"column"`
 	}
 	hits := []hitJSON{}
-	for _, h := range ses.Autocomplete(q, max) {
+	for _, h := range ses.Autocomplete(prefix, max) {
 		hits = append(hits, hitJSON{Value: h.Value, Table: h.Table, Column: h.Column})
 	}
 	writeJSON(w, hits)
 }
 
 func (s *server) schema(w http.ResponseWriter, r *http.Request) {
-	ses := s.session(w, r)
-	if ses == nil {
+	sn := s.snapshot(w, r.URL.Query().Get("db"), 0)
+	if sn == nil {
 		return
 	}
-	db := ses.Database()
+	// Read through the pinned frozen snapshot so the row counts are one
+	// consistent epoch, not a mid-ingest mixture.
+	db := sn.Database()
 	type colJSON struct {
 		Name string `json:"name"`
 		Type string `json:"type"`
@@ -475,10 +625,11 @@ func (s *server) schema(w http.ResponseWriter, r *http.Request) {
 	}
 	type schemaJSON struct {
 		Database    string      `json:"database"`
+		Epoch       int64       `json:"epoch"`
 		Tables      []tableJSON `json:"tables"`
 		ForeignKeys []string    `json:"foreign_keys"`
 	}
-	out := schemaJSON{Database: db.Name}
+	out := schemaJSON{Database: db.Name, Epoch: sn.Epoch()}
 	for _, t := range db.Schema.Tables {
 		tj := tableJSON{Name: t.Name, PK: t.PrimaryKey, Rows: t.NumRows()}
 		for _, c := range t.Columns {
@@ -492,13 +643,14 @@ func (s *server) schema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// dbs lists the registered databases.
+// dbs lists the registered databases with their published head epochs.
 func (s *server) dbs(w http.ResponseWriter, r *http.Request) {
 	type dbJSON struct {
-		Name    string `json:"name"`
-		Tables  int    `json:"tables"`
-		Rows    int    `json:"rows"`
-		Default bool   `json:"default"`
+		Name      string `json:"name"`
+		Tables    int    `json:"tables"`
+		Rows      int    `json:"rows"`
+		HeadEpoch int64  `json:"head_epoch"`
+		Default   bool   `json:"default"`
 	}
 	out := []dbJSON{}
 	for _, name := range s.eng.Databases() {
@@ -506,11 +658,14 @@ func (s *server) dbs(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
+		// Count rows on a frozen snapshot: one consistent epoch per entry.
+		snap := db.Snapshot()
 		out = append(out, dbJSON{
-			Name:    name,
-			Tables:  len(db.Schema.Tables),
-			Rows:    db.TotalRows(),
-			Default: name == s.defaultDB,
+			Name:      name,
+			Tables:    len(snap.Schema.Tables),
+			Rows:      snap.TotalRows(),
+			HeadEpoch: snap.Epoch(),
+			Default:   name == s.defaultDB,
 		})
 	}
 	writeJSON(w, out)
@@ -561,6 +716,13 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		ManifestHash string  `json:"manifest_hash,omitempty"`
 		LoadMS       float64 `json:"load_ms,omitempty"`
 	}
+	type epochJSON struct {
+		Epoch         int64   `json:"epoch"`
+		Requests      int64   `json:"requests"`
+		JoinPaths     int     `json:"join_paths"`
+		PrefixHitRate float64 `json:"prefix_hit_rate"`
+		StreamedRate  float64 `json:"streamed_rate"`
+	}
 	type dbJSON struct {
 		Database         string  `json:"database"`
 		Requests         int64   `json:"requests"`
@@ -571,6 +733,16 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		AutocompleteSize int     `json:"autocomplete_size"`
 		P50MS            float64 `json:"p50_ms"`
 		P95MS            float64 `json:"p95_ms"`
+		// Epoch visibility: the published head, Engine.Append batches
+		// accepted, live/retired cache shards, per-request epoch lag, and
+		// each live shard's cache hit rates.
+		HeadEpoch     int64       `json:"head_epoch"`
+		Appends       int64       `json:"appends"`
+		EpochsLive    int         `json:"epochs_live"`
+		EpochsRetired int64       `json:"epochs_retired"`
+		EpochLagMax   int64       `json:"epoch_lag_max"`
+		EpochLagAvg   float64     `json:"epoch_lag_avg"`
+		Epochs        []epochJSON `json:"epochs"`
 		// Cancel-to-return latency: the gap between a request's context
 		// firing and the request actually returning.
 		CancelReturns       int64       `json:"cancel_returns"`
@@ -622,6 +794,16 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 				Bytes:   dd.Bytes,
 			})
 		}
+		epochs := []epochJSON{}
+		for _, ep := range d.Epochs {
+			epochs = append(epochs, epochJSON{
+				Epoch:         ep.Epoch,
+				Requests:      ep.Requests,
+				JoinPaths:     ep.JoinPaths,
+				PrefixHitRate: ep.PrefixHitRate,
+				StreamedRate:  ep.StreamedRate,
+			})
+		}
 		out.Databases = append(out.Databases, dbJSON{
 			Database:            d.Database,
 			Requests:            d.Requests,
@@ -632,6 +814,13 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 			AutocompleteSize:    d.AutocompleteSize,
 			P50MS:               float64(d.P50) / float64(time.Millisecond),
 			P95MS:               float64(d.P95) / float64(time.Millisecond),
+			HeadEpoch:           d.HeadEpoch,
+			Appends:             d.Appends,
+			EpochsLive:          d.EpochsLive,
+			EpochsRetired:       d.EpochsRetired,
+			EpochLagMax:         d.EpochLagMax,
+			EpochLagAvg:         d.EpochLagAvg,
+			Epochs:              epochs,
 			CancelReturns:       d.CancelReturns,
 			CancelToReturnP50NS: d.CancelP50.Nanoseconds(),
 			CancelToReturnP99NS: d.CancelP99.Nanoseconds(),

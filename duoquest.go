@@ -88,6 +88,15 @@ type (
 	// databases, borrowing its shared caches. (Session, without the
 	// prefix, is the iterative NLQ/TSQ refinement loop of Figure 1.)
 	EngineSession = service.Session
+	// EngineSnapshot is a session pinned to one published database epoch:
+	// every call on it observes exactly that epoch's rows and shares that
+	// epoch's caches, no matter how much ingest happens meanwhile. Open one
+	// with Engine.Snapshot or Engine.SnapshotAt.
+	EngineSnapshot = service.Snapshot
+	// ColumnData is one column's bulk-ingest payload, columnar form
+	// (Engine.Append and Table.BulkAppend take a slice of these in schema
+	// order).
+	ColumnData = storage.ColumnData
 	// EngineStats is an Engine's serving snapshot: admission gauges plus
 	// per-database request counts, cache hit rates, and latency
 	// quantiles.
@@ -197,58 +206,57 @@ type Input = service.Input
 // WithMaxInFlight/WithMaxQueue); callers should shed the request.
 var ErrOverloaded = service.ErrOverloaded
 
-// config collects synthesizer options.
-type config struct {
-	model           GuidanceModel
-	rules           *RuleSet
-	mode            Mode
-	budget          time.Duration
-	defaultDeadline time.Duration
-	maxDeadline     time.Duration
-	maxCandidates   int
-	maxStates       int
-	workers         int
-	queryWorkers    int
-	morselSize      int
-	maxInFlight     int
-	maxQueue        int
-}
+// Config is the engine's whole configuration surface — guidance model,
+// pruning rules, enumeration mode, search bounds, deadlines, parallelism,
+// admission control, and epoch-cache retention — documented field by field
+// on service.Config. The zero value is usable; DefaultConfig returns the
+// library defaults (lexical guidance, Table 4 rules, 2s budget, 50
+// candidates). The WithX Option helpers below are thin deprecated wrappers
+// over this struct.
+type Config = service.Config
 
-// options converts the config to the service layer's form.
-func (c config) options() service.Options {
-	return service.Options{
-		Model:            c.model,
-		Rules:            c.rules,
-		NoRules:          c.rules == nil,
-		Mode:             c.mode,
-		Budget:           c.budget,
-		DefaultDeadline:  c.defaultDeadline,
-		MaxDeadline:      c.maxDeadline,
-		MaxCandidates:    c.maxCandidates,
-		MaxStates:        c.maxStates,
-		Workers:          c.workers,
-		QueryParallelism: c.queryWorkers,
-		MorselSize:       c.morselSize,
-		MaxInFlight:      c.maxInFlight,
-		MaxQueue:         c.maxQueue,
+// DefaultConfig returns the documented library defaults: the lexical
+// guidance model, the Table 4 semantic pruning rules, GPQE mode, a 2-second
+// search budget, and at most 50 candidates per request.
+func DefaultConfig() Config {
+	return Config{
+		Model:         guidance.NewLexicalModel(),
+		Rules:         semrules.Default(),
+		Mode:          enumerate.ModeGPQE,
+		Budget:        2 * time.Second,
+		MaxCandidates: 50,
 	}
 }
 
-// Option configures a Synthesizer.
-type Option func(*config)
+// Option configures a Synthesizer or Engine built through the variadic
+// constructors.
+//
+// Deprecated: populate a Config and use NewEngineFromConfig (or NewWithConfig
+// for a single-database Synthesizer) instead.
+type Option func(*Config)
 
 // WithModel replaces the guidance model (default: the lexical model).
-func WithModel(m GuidanceModel) Option { return func(c *config) { c.model = m } }
+//
+// Deprecated: set Config.Model.
+func WithModel(m GuidanceModel) Option { return func(c *Config) { c.Model = m } }
 
 // WithRules replaces the semantic rule set; nil disables semantic pruning.
-func WithRules(r *RuleSet) Option { return func(c *config) { c.rules = r } }
+//
+// Deprecated: set Config.Rules (and Config.NoRules to disable pruning).
+func WithRules(r *RuleSet) Option {
+	return func(c *Config) { c.Rules = r; c.NoRules = r == nil }
+}
 
 // WithMode selects the enumeration variant (default ModeGPQE).
-func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+//
+// Deprecated: set Config.Mode.
+func WithMode(m Mode) Option { return func(c *Config) { c.Mode = m } }
 
 // WithBudget bounds the wall-clock search time per request (default 2s) —
 // the front-end's pre-specified timeout (§4).
-func WithBudget(d time.Duration) Option { return func(c *config) { c.budget = d } }
+//
+// Deprecated: set Config.Budget.
+func WithBudget(d time.Duration) Option { return func(c *Config) { c.Budget = d } }
 
 // WithDefaultDeadline sets the per-request wall-clock deadline applied when
 // a request carries none (0, the default, applies no deadline). Unlike
@@ -257,29 +265,39 @@ func WithBudget(d time.Duration) Option { return func(c *config) { c.budget = d 
 // checkpoints, so expiry unwinds verification mid-scan and the request
 // returns the candidates found so far with Result.Truncated set, not an
 // error.
+//
+// Deprecated: set Config.DefaultDeadline.
 func WithDefaultDeadline(d time.Duration) Option {
-	return func(c *config) { c.defaultDeadline = d }
+	return func(c *Config) { c.DefaultDeadline = d }
 }
 
 // WithMaxDeadline clamps every request's deadline, including requests that
 // asked for none (0, the default, applies no clamp). The HTTP server's
-// ?deadline_ms= parameter is bounded by this.
+// deadline_ms parameter is bounded by this.
+//
+// Deprecated: set Config.MaxDeadline.
 func WithMaxDeadline(d time.Duration) Option {
-	return func(c *config) { c.maxDeadline = d }
+	return func(c *Config) { c.MaxDeadline = d }
 }
 
 // WithMaxCandidates stops after emitting n candidates (default 50).
-func WithMaxCandidates(n int) Option { return func(c *config) { c.maxCandidates = n } }
+//
+// Deprecated: set Config.MaxCandidates.
+func WithMaxCandidates(n int) Option { return func(c *Config) { c.MaxCandidates = n } }
 
 // WithMaxStates caps the number of explored search states.
-func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+//
+// Deprecated: set Config.MaxStates.
+func WithMaxStates(n int) Option { return func(c *Config) { c.MaxStates = n } }
 
 // WithWorkers bounds the verification worker pool: dequeued search states
 // fan out to n workers for TSQ verification while enumeration order stays
 // single-threaded and deterministic, so results are identical to the
 // sequential engine's. 0 (the default) uses runtime.GOMAXPROCS(0); 1
 // verifies inline on the search goroutine.
-func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+//
+// Deprecated: set Config.Workers.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
 // WithQueryParallelism bounds intra-query morsel parallelism: the workers
 // (caller included) a single scan, join probe, or grouped aggregation may
@@ -289,58 +307,63 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // share one token budget, so total parallelism stays capped at
 // max(workers, query parallelism); parallel results are bit-identical to
 // the single-threaded path (deterministic morsel-order merges).
-func WithQueryParallelism(n int) Option { return func(c *config) { c.queryWorkers = n } }
+//
+// Deprecated: set Config.QueryParallelism.
+func WithQueryParallelism(n int) Option { return func(c *Config) { c.QueryParallelism = n } }
 
 // WithMorselSize sets the scan rows per morsel for intra-query parallelism
 // (0, the default, uses the executor's 4096). Values are normalized up to
 // the storage engine's 64-row null-bitmap word alignment.
-func WithMorselSize(n int) Option { return func(c *config) { c.morselSize = n } }
+//
+// Deprecated: set Config.MorselSize.
+func WithMorselSize(n int) Option { return func(c *Config) { c.MorselSize = n } }
 
 // WithMaxInFlight bounds concurrently running syntheses (0, the default,
 // is unbounded). Excess requests wait in an admission queue.
-func WithMaxInFlight(n int) Option { return func(c *config) { c.maxInFlight = n } }
+//
+// Deprecated: set Config.MaxInFlight.
+func WithMaxInFlight(n int) Option { return func(c *Config) { c.MaxInFlight = n } }
 
 // WithMaxQueue bounds the admission queue beyond WithMaxInFlight (0 =
 // unbounded); when full, Synthesize fails fast with ErrOverloaded.
-func WithMaxQueue(n int) Option { return func(c *config) { c.maxQueue = n } }
+//
+// Deprecated: set Config.MaxQueue.
+func WithMaxQueue(n int) Option { return func(c *Config) { c.MaxQueue = n } }
 
-// defaultConfig is the documented option defaults.
-func defaultConfig() config {
-	return config{
-		model:         guidance.NewLexicalModel(),
-		rules:         semrules.Default(),
-		mode:          enumerate.ModeGPQE,
-		budget:        2 * time.Second,
-		maxCandidates: 50,
-	}
+// NewEngineFromConfig builds a standalone multi-database Engine from an
+// explicit Config — the primary constructor. Register databases on it and
+// open per-request sessions with Engine.Session (or pinned read handles
+// with Engine.Snapshot); cmd/duoquest-server is built on this entry point.
+func NewEngineFromConfig(cfg Config) *Engine {
+	return service.NewEngine(cfg)
 }
 
-// NewEngine builds a standalone multi-database Engine with the same options
-// a Synthesizer takes. Register databases on it and open per-request
-// sessions with Engine.Session; cmd/duoquest-server is built on this entry
-// point.
+// NewEngine builds an Engine from DefaultConfig plus options.
+//
+// Deprecated: populate a Config and use NewEngineFromConfig.
 func NewEngine(opts ...Option) *Engine {
-	cfg := defaultConfig()
+	cfg := DefaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return service.NewEngine(cfg.options())
+	return NewEngineFromConfig(cfg)
 }
 
 // Synthesizer is the Duoquest engine bound to one database. It is safe for
 // concurrent use: all requests run through an internal service Engine and
-// share the per-database caches — the prefix-sharing join cache, the
-// column- and row-wise verification memos, and the autocomplete index —
-// each built once and invalidated automatically when rows are inserted.
+// share the per-database caches — the prefix-sharing join cache and the
+// column- and row-wise verification memos, keyed by published epoch so a
+// concurrent Append never evicts an in-flight reader's warm cache — plus
+// the autocomplete index, built once on first use.
 type Synthesizer struct {
 	db  *Database
 	eng *Engine
 	ses *EngineSession
 }
 
-// New builds a Synthesizer for a database.
-func New(db *Database, opts ...Option) *Synthesizer {
-	eng := NewEngine(opts...)
+// NewWithConfig builds a Synthesizer for a database from an explicit Config.
+func NewWithConfig(db *Database, cfg Config) *Synthesizer {
+	eng := NewEngineFromConfig(cfg)
 	if err := eng.Register(db); err != nil {
 		// A single registration on a fresh engine can only fail on a nil
 		// database; surface that as the programming error it is.
@@ -351,6 +374,16 @@ func New(db *Database, opts ...Option) *Synthesizer {
 		panic(err)
 	}
 	return &Synthesizer{db: db, eng: eng, ses: ses}
+}
+
+// New builds a Synthesizer for a database with the library defaults plus
+// options. (For new code, populate a Config and use NewWithConfig.)
+func New(db *Database, opts ...Option) *Synthesizer {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewWithConfig(db, cfg)
 }
 
 // Engine exposes the Synthesizer's underlying service engine, e.g. to read
@@ -387,4 +420,19 @@ func (s *Synthesizer) Autocomplete(prefix string, max int) []Hit {
 // state.
 func (s *Synthesizer) Preview(q *Query, maxRows int) (*ResultSet, error) {
 	return s.ses.Preview(q, maxRows)
+}
+
+// Snapshot opens a read handle pinned to the database's latest published
+// epoch: every call on it observes exactly that epoch's rows, no matter how
+// much ingest happens meanwhile.
+func (s *Synthesizer) Snapshot() (*EngineSnapshot, error) {
+	return s.eng.Snapshot(s.db.Name)
+}
+
+// Append bulk-appends one batch (columnar form, schema order) to a table and
+// publishes it as a new epoch, returning the epoch number. This is the only
+// mutation safe under concurrent synthesis: in-flight and pinned requests
+// keep their epochs and warm caches; the next request sees the new rows.
+func (s *Synthesizer) Append(table string, cols []ColumnData) (int64, error) {
+	return s.eng.Append(s.db.Name, table, cols)
 }

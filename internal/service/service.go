@@ -13,8 +13,14 @@
 // per-database serving statistics — request counts, cache hit rates from
 // the executor's PipelineStats, and p50/p95 latencies.
 //
-// All shared caches invalidate on Insert via the storage generation
-// counter, so a long-lived Engine never serves pre-Insert answers.
+// Consistency under live ingest is epoch-based (storage epoch snapshots):
+// every request resolves a frozen snapshot of its database — the latest
+// epoch, an explicit Input.Epoch, or the epoch pinned by an
+// Engine.Snapshot handle — and runs the entire synthesis against it, so a
+// concurrent Engine.Append can never tear a request's view. Shared caches
+// are keyed by epoch (one verify.Cache per snapshot) instead of being
+// invalidated: a write never evicts another reader's warm cache, and the
+// next request at the new head simply starts that epoch's cache.
 package service
 
 import (
@@ -54,12 +60,20 @@ type Input struct {
 	// the request returns an anytime partial result — the candidates
 	// verified so far, flagged Truncated — not an error.
 	Deadline time.Duration
+	// Epoch pins the request to a published database epoch (0 = latest).
+	// A request at epoch E observes exactly the rows visible when E was
+	// published, regardless of concurrent ingest; a retired epoch is an
+	// error. Sessions obtained through Engine.Snapshot are already pinned
+	// and reject a conflicting Epoch.
+	Epoch int64
 }
 
-// Options configures an Engine. The zero value is usable: lexical guidance,
+// Config configures an Engine. The zero value is usable: lexical guidance,
 // Table 4 semantic pruning, GPQE mode, unlimited candidates, no state/time
-// bound, unbounded admission.
-type Options struct {
+// bound, unbounded admission. This struct is the engine's whole
+// configuration surface; the duoquest facade's WithX options are thin
+// deprecated wrappers over it.
+type Config struct {
 	// Model is the guidance model; nil uses the lexical model. The model
 	// is shared by all concurrent requests and must be stateless.
 	Model guidance.Model
@@ -124,12 +138,25 @@ type Options struct {
 	// LatencyWindow is the per-database ring size for latency quantiles
 	// (<=0 means 1024).
 	LatencyWindow int
+
+	// EpochRetention bounds the live per-epoch cache shards kept per
+	// database (<=0 means 4). When ingest publishes epochs faster than
+	// requests drain, the oldest shard's cache is retired (its cumulative
+	// pipeline counters are folded into the database totals). Pinned
+	// snapshot handles keep working past retirement — only the shard's
+	// discoverability and per-epoch stats end.
+	EpochRetention int
 }
+
+// Options is the former name of Config.
+//
+// Deprecated: use Config.
+type Options = Config
 
 // Engine is the process-wide synthesis service. It is safe for concurrent
 // use; create one per process and share it across all requests.
 type Engine struct {
-	opts  Options
+	opts  Config
 	model guidance.Model
 	rules *semrules.RuleSet
 
@@ -154,15 +181,25 @@ type Engine struct {
 }
 
 // dbState is the shared per-database state, built once and borrowed by
-// every request against that database.
+// every request against that database. db is the live head (the only thing
+// Engine.Append mutates); all query work runs on frozen epoch snapshots
+// tracked as epochShards.
 type dbState struct {
-	eng   *Engine
-	db    *storage.Database
-	cache *verify.Cache
-	prov  Provenance
+	eng  *Engine
+	db   *storage.Database
+	prov Provenance
 
 	idxOnce sync.Once
 	idx     *autocomplete.Index
+
+	// Epoch shards: one frozen snapshot plus its shared caches per epoch
+	// that served (or is serving) requests, bounded by Config.EpochRetention.
+	epochMu       sync.Mutex
+	shards        map[int64]*epochShard
+	shardOrder    []int64               // creation order, oldest first
+	warmed        *epochShard           // writer-warmed shard awaiting its first reader
+	retired       sqlexec.PipelineStats // folded counters of retired shards
+	retiredShards int64
 
 	m           sync.Mutex
 	requests    int64
@@ -179,10 +216,120 @@ type dbState struct {
 	cretPos   int
 	cretN     int
 	cretTotal int64 // cumulative count of cancelled returns
+
+	appends int64 // Engine.Append batches accepted for this database
+	// Epoch lag accounting: per request, how many epochs the resolved
+	// snapshot trailed the head at resolution time (always 0 for unpinned
+	// requests, which resolve the head itself).
+	lagSum int64
+	lagMax int64
+	lagN   int64
+}
+
+// epochShard is one epoch's serving state: the frozen snapshot plus the
+// cross-request caches keyed to it. Shards are created on first use of an
+// epoch and never invalidated — ingest makes new shards, not evictions.
+type epochShard struct {
+	epoch    int64
+	db       *storage.Database // frozen epoch snapshot
+	cache    *verify.Cache
+	requests atomic.Int64
+}
+
+// shardAt resolves the serving shard for an epoch (0 = latest, publishing
+// one if build-phase mutations are pending). Requests for the same epoch
+// share one shard — and therefore one join cache and one set of memos.
+func (ds *dbState) shardAt(epoch int64) (*epochShard, error) {
+	if epoch != 0 {
+		// A live shard keeps its epoch servable even after storage's
+		// bounded view ring has retired the number: the shard holds the
+		// frozen database, which is valid forever. Sustained ingest can
+		// therefore never break a pin the service still retains.
+		ds.epochMu.Lock()
+		sh, ok := ds.shards[epoch]
+		ds.epochMu.Unlock()
+		if ok {
+			return sh, nil
+		}
+	}
+	var snap *storage.Database
+	if epoch == 0 {
+		snap = ds.db.Snapshot()
+	} else {
+		var err error
+		snap, err = ds.db.SnapshotAt(epoch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds.shardFor(snap), nil
+}
+
+// shardFor returns (creating if needed) the shard for a resolved snapshot,
+// retiring the oldest shard beyond the retention bound.
+func (ds *dbState) shardFor(snap *storage.Database) *epochShard {
+	ep := snap.Epoch()
+	ds.epochMu.Lock()
+	defer ds.epochMu.Unlock()
+	if sh, ok := ds.shards[ep]; ok {
+		return sh
+	}
+	var sh *epochShard
+	if w := ds.warmed; w != nil && w.epoch == ep && w.db == snap {
+		// Adopt the shard the writer warmed after publishing this epoch —
+		// it enters the retention ring only now, on first read, so pure
+		// write bursts never churn readers' pinned shards out of it.
+		sh = w
+		ds.warmed = nil
+	} else {
+		// Seed the new shard's caches from the most recently created
+		// shard: joins and memoized answers over tables unchanged between
+		// the two epochs carry forward, so an append costs readers only
+		// the changed table's state, not a fully cold cache.
+		var prevCache *verify.Cache
+		if n := len(ds.shardOrder); n > 0 {
+			prevCache = ds.shards[ds.shardOrder[n-1]].cache
+		}
+		sh = &epochShard{epoch: ep, db: snap, cache: verify.NewCacheFrom(snap, prevCache)}
+	}
+	if ds.shards == nil {
+		ds.shards = map[int64]*epochShard{}
+	}
+	ds.shards[ep] = sh
+	ds.shardOrder = append(ds.shardOrder, ep)
+	max := ds.eng.opts.EpochRetention
+	if max <= 0 {
+		max = 4
+	}
+	for len(ds.shardOrder) > max {
+		old := ds.shardOrder[0]
+		ds.shardOrder = ds.shardOrder[1:]
+		if osh, ok := ds.shards[old]; ok {
+			addPipeline(&ds.retired, osh.cache.Joins().Stats())
+			ds.retiredShards++
+			delete(ds.shards, old)
+		}
+	}
+	return sh
+}
+
+// noteLag folds one request's epoch lag (head minus pinned epoch at
+// resolution time) into the per-database accounting.
+func (ds *dbState) noteLag(lag int64) {
+	if lag < 0 {
+		lag = 0
+	}
+	ds.m.Lock()
+	ds.lagSum += lag
+	ds.lagN++
+	if lag > ds.lagMax {
+		ds.lagMax = lag
+	}
+	ds.m.Unlock()
 }
 
 // NewEngine builds an engine.
-func NewEngine(opts Options) *Engine {
+func NewEngine(opts Config) *Engine {
 	if opts.LatencyWindow <= 0 {
 		opts.LatencyWindow = 1024
 	}
@@ -275,12 +422,11 @@ func (e *Engine) RegisterWithProvenance(db *storage.Database, prov Provenance) e
 		return fmt.Errorf("service: database %q already registered", db.Name)
 	}
 	e.dbs[db.Name] = &dbState{
-		eng:   e,
-		db:    db,
-		cache: verify.NewCache(db),
-		prov:  prov,
-		lat:   make([]time.Duration, e.opts.LatencyWindow),
-		cret:  make([]time.Duration, e.opts.LatencyWindow),
+		eng:  e,
+		db:   db,
+		prov: prov,
+		lat:  make([]time.Duration, e.opts.LatencyWindow),
+		cret: make([]time.Duration, e.opts.LatencyWindow),
 	}
 	e.order = append(e.order, db.Name)
 	return nil
@@ -352,15 +498,124 @@ func (e *Engine) admit(ctx context.Context) (release func(), err error) {
 }
 
 // Session is a per-request view of one database: it borrows the Engine's
-// shared per-database caches and runs requests under the Engine's admission
-// control.
+// shared per-epoch caches and runs requests under the Engine's admission
+// control. An unpinned session resolves the latest epoch per request (or
+// the request's Input.Epoch); a session inside a Snapshot handle is pinned
+// to one epoch for its whole lifetime.
 type Session struct {
 	eng *Engine
 	ds  *dbState
+	pin *epochShard // nil = resolve per request
 }
 
-// Database returns the session's database.
+// Database returns the session's live database head. Mutating it directly
+// is a build-phase-only operation; concurrent ingest must go through
+// Engine.Append. For a stable read view use Engine.Snapshot (or the frozen
+// database a Snapshot handle exposes).
 func (s *Session) Database() *storage.Database { return s.ds.db }
+
+// shard resolves the serving shard for one request: the pinned epoch if the
+// session is a Snapshot handle, else the requested epoch (0 = latest).
+func (s *Session) shard(epoch int64) (*epochShard, error) {
+	if s.pin != nil {
+		if epoch != 0 && epoch != s.pin.epoch {
+			return nil, fmt.Errorf("service: session is pinned at epoch %d, cannot serve epoch %d", s.pin.epoch, epoch)
+		}
+		return s.pin, nil
+	}
+	return s.ds.shardAt(epoch)
+}
+
+// Snapshot is a Session pinned to one published epoch: every call on it —
+// Synthesize, Exists, Preview — observes exactly that epoch's rows and
+// shares that epoch's caches, no matter how much ingest happens meanwhile.
+// The handle is reusable and safe for concurrent use.
+type Snapshot struct {
+	*Session
+}
+
+// Epoch returns the pinned epoch number.
+func (sn *Snapshot) Epoch() int64 { return sn.pin.epoch }
+
+// Database returns the pinned frozen database (shadowing the Session's live
+// head): reads through it are stable by construction.
+func (sn *Snapshot) Database() *storage.Database { return sn.pin.db }
+
+// Snapshot opens a read handle pinned to the latest published epoch of a
+// registered database (publishing one if build-phase mutations are
+// pending). This is the service-level analogue of storage.Database.Snapshot:
+// a consistent, reusable view under live ingest.
+func (e *Engine) Snapshot(name string) (*Snapshot, error) {
+	return e.SnapshotAt(name, 0)
+}
+
+// SnapshotAt is Snapshot pinned to a specific epoch (0 = latest). A retired
+// or never-published epoch is an error.
+func (e *Engine) SnapshotAt(name string, epoch int64) (*Snapshot, error) {
+	s, err := e.Session(name)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := s.ds.shardAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	s.pin = sh
+	return &Snapshot{Session: s}, nil
+}
+
+// Append bulk-appends one batch to a table of a registered database and
+// publishes it as a new epoch, returning the epoch number. This is the only
+// mutation safe under concurrent requests: in-flight sessions keep their
+// pinned epochs (and warm caches — zero evictions), and the next unpinned
+// request observes the new rows.
+func (e *Engine) Append(name, table string, cols []storage.ColumnData) (int64, error) {
+	e.mu.RLock()
+	ds, ok := e.dbs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("service: unknown database %q", name)
+	}
+	// Remember the warmest shard before publication so the new epoch's
+	// shard can be warmed from it below.
+	ds.epochMu.Lock()
+	var prev *epochShard
+	if n := len(ds.shardOrder); n > 0 {
+		prev = ds.shards[ds.shardOrder[n-1]]
+	}
+	if w := ds.warmed; w != nil && (prev == nil || w.epoch > prev.epoch) {
+		// A prior write's parked shard that no reader adopted yet is the
+		// warmest state there is — chain the new epoch's carry from it.
+		prev = w
+	}
+	ds.epochMu.Unlock()
+	epoch, err := ds.db.Append(table, cols)
+	if err != nil {
+		return 0, err
+	}
+	ds.m.Lock()
+	ds.appends++
+	ds.m.Unlock()
+	// The write pays to rebuild what it invalidated: build the new epoch's
+	// serving state now — carrying forward every cache entry that provably
+	// still holds and re-materializing the joins that touched the appended
+	// table — and park it for the first reader to adopt (shardFor). The
+	// reader starts warm instead of absorbing the rebuild into its own
+	// latency, and a pure write burst never enters the retention ring.
+	if prev != nil {
+		if snap, serr := ds.db.SnapshotAt(epoch); serr == nil {
+			cache := verify.NewCacheFrom(snap, prev.cache)
+			ds.epochMu.Lock()
+			ds.warmed = &epochShard{epoch: epoch, db: snap, cache: cache}
+			ds.epochMu.Unlock()
+			// Park before warming: a reader that adopts the shard mid-warm
+			// shares each join's single materialization (entry-level locks)
+			// instead of duplicating the whole rebuild under its latency.
+			cache.WarmFrom(context.Background(), prev.cache)
+		}
+	}
+	return epoch, nil
+}
 
 // Synthesize runs dual-specification synthesis and returns the ranked
 // candidates.
@@ -425,13 +680,22 @@ func (s *Session) SynthesizeStream(ctx context.Context, in Input, emit func(enum
 	stopWatch := context.AfterFunc(ctx, func() { firedAt.Store(time.Now().UnixNano()) })
 	defer stopWatch()
 
+	// Resolve the epoch snapshot the whole request will observe. The head
+	// epoch is read at the same moment for the lag accounting.
+	sh, err := s.shard(in.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	s.ds.noteLag(s.ds.db.Epoch() - sh.epoch)
+	sh.requests.Add(1)
+
 	var v *verify.Verifier
 	if s.eng.opts.PerRequestCaches {
-		v = verify.New(s.ds.db, s.eng.rules, in.Sketch, in.Literals)
+		v = verify.New(sh.db, s.eng.rules, in.Sketch, in.Literals)
 	} else {
-		v = verify.NewWithCache(s.ds.db, s.eng.rules, in.Sketch, in.Literals, s.ds.cache)
+		v = verify.NewWithCache(sh.db, s.eng.rules, in.Sketch, in.Literals, sh.cache)
 	}
-	en := enumerate.New(s.ds.db, s.eng.model, v, enumerate.Options{
+	en := enumerate.New(sh.db, s.eng.model, v, enumerate.Options{
 		Mode:          s.eng.opts.Mode,
 		MaxCandidates: s.eng.opts.MaxCandidates,
 		MaxStates:     s.eng.opts.MaxStates,
@@ -493,11 +757,15 @@ func (s *Session) Exists(eq sqlexec.ExistsQuery) (bool, error) {
 // fault-marked context (see internal/faultinject) draws its injected probe
 // latency here.
 func (s *Session) ExistsCtx(ctx context.Context, eq sqlexec.ExistsQuery) (bool, error) {
+	sh, err := s.shard(0)
+	if err != nil {
+		return false, err
+	}
 	ctx = s.eng.execCtx(ctx)
 	if s.eng.opts.PerRequestCaches {
-		return sqlexec.ExistsCtx(ctx, s.ds.db, eq)
+		return sqlexec.ExistsCtx(ctx, sh.db, eq)
 	}
-	return s.ds.cache.Joins().ExistsCtx(ctx, eq)
+	return sh.cache.Joins().ExistsCtx(ctx, eq)
 }
 
 // Preview executes a candidate query with a row cap, powering the
@@ -505,13 +773,16 @@ func (s *Session) ExistsCtx(ctx context.Context, eq sqlexec.ExistsQuery) (bool, 
 // join cache, and truncation copies the row slice so callers can never
 // mutate cached or shared results.
 func (s *Session) Preview(q *sqlir.Query, maxRows int) (*sqlexec.Result, error) {
+	sh, err := s.shard(0)
+	if err != nil {
+		return nil, err
+	}
 	var res *sqlexec.Result
-	var err error
 	ctx := s.eng.execCtx(context.Background())
 	if s.eng.opts.PerRequestCaches {
-		res, err = sqlexec.ExecuteCtx(ctx, s.ds.db, q)
+		res, err = sqlexec.ExecuteCtx(ctx, sh.db, q)
 	} else {
-		res, err = s.ds.cache.Joins().ExecuteCtx(ctx, q)
+		res, err = sh.cache.Joins().ExecuteCtx(ctx, q)
 	}
 	if err != nil {
 		return nil, err
@@ -526,7 +797,10 @@ func (s *Session) Preview(q *sqlir.Query, maxRows int) (*sqlexec.Result, error) 
 
 func (ds *dbState) autocompleteIndex() *autocomplete.Index {
 	ds.idxOnce.Do(func() {
-		idx := autocomplete.Build(ds.db)
+		// Build from a frozen snapshot so the one-time build cannot race
+		// concurrent ingest; like the paper's offline autocomplete server,
+		// the index is not rebuilt on later appends.
+		idx := autocomplete.Build(ds.db.Snapshot())
 		ds.m.Lock()
 		ds.idx = idx
 		ds.m.Unlock()

@@ -55,6 +55,16 @@ type StorageStats struct {
 	Provenance Provenance
 }
 
+// EpochCacheStats is one live epoch shard's serving view: which epoch,
+// how many syntheses resolved it, and how its caches are hitting.
+type EpochCacheStats struct {
+	Epoch         int64
+	Requests      int64
+	JoinPaths     int
+	PrefixHitRate float64
+	StreamedRate  float64
+}
+
 // DBStats is the aggregated serving view of one registered database.
 type DBStats struct {
 	Database         string
@@ -67,6 +77,18 @@ type DBStats struct {
 	Cache            CacheStats
 	Storage          StorageStats
 	P50, P95         time.Duration // over the latency window; 0 if no requests
+
+	// Epoch visibility: the head epoch, how many Engine.Append batches the
+	// database has accepted, the live/retired epoch cache shards, the
+	// per-request epoch lag (head minus resolved epoch at resolution time),
+	// and each live shard's cache hit rates.
+	HeadEpoch     int64
+	Appends       int64
+	EpochsLive    int
+	EpochsRetired int64
+	EpochLagMax   int64
+	EpochLagAvg   float64
+	Epochs        []EpochCacheStats
 
 	// CancelReturns counts cancelled or deadline-expired requests; the
 	// quantiles are their cancel-to-return latency — how long after the
@@ -119,6 +141,11 @@ func (ds *dbState) snapshot() DBStats {
 		Truncated:     ds.truncated,
 		Interrupted:   ds.interrupted,
 		CancelReturns: ds.cretTotal,
+		Appends:       ds.appends,
+		EpochLagMax:   ds.lagMax,
+	}
+	if ds.lagN > 0 {
+		out.EpochLagAvg = float64(ds.lagSum) / float64(ds.lagN)
 	}
 	if ds.idx != nil {
 		out.AutocompleteSize = ds.idx.Size()
@@ -136,10 +163,32 @@ func (ds *dbState) snapshot() DBStats {
 	out.CancelP50 = percentile(cret, 0.50)
 	out.CancelP99 = percentile(cret, 0.99)
 
-	joins := ds.cache.Joins()
-	ps := joins.Stats()
+	// Aggregate the per-epoch cache shards: cumulative pipeline counters
+	// fold across retired and live shards, join paths count what is
+	// materialized right now (live shards only).
+	out.HeadEpoch = ds.db.Epoch()
+	ds.epochMu.Lock()
+	ps := ds.retired
+	out.EpochsRetired = ds.retiredShards
+	out.EpochsLive = len(ds.shardOrder)
+	joinPaths := 0
+	for _, ep := range ds.shardOrder {
+		sh := ds.shards[ep]
+		sps := sh.cache.Joins().Stats()
+		size := sh.cache.Joins().Size()
+		joinPaths += size
+		addPipeline(&ps, sps)
+		out.Epochs = append(out.Epochs, EpochCacheStats{
+			Epoch:         ep,
+			Requests:      sh.requests.Load(),
+			JoinPaths:     size,
+			PrefixHitRate: ratio(sps.PrefixHits, sps.PrefixHits+sps.JoinsBuilt),
+			StreamedRate:  ratio(sps.StreamedExists, sps.StreamedExists+sps.FallbackExists),
+		})
+	}
+	ds.epochMu.Unlock()
 	out.Cache = CacheStats{
-		JoinPaths:        joins.Size(),
+		JoinPaths:        joinPaths,
 		Pipeline:         ps,
 		PrefixHitRate:    ratio(ps.PrefixHits, ps.PrefixHits+ps.JoinsBuilt),
 		StreamedRate:     ratio(ps.StreamedExists, ps.StreamedExists+ps.FallbackExists),
@@ -148,9 +197,25 @@ func (ds *dbState) snapshot() DBStats {
 	if pq := ds.eng.pool.PerQuery(); pq > 0 && out.Cache.AvgMorselWorkers > 0 {
 		out.Cache.MorselEfficiency = out.Cache.AvgMorselWorkers / float64(pq)
 	}
-	out.Storage = storageStats(ds.db)
+	// Footprint is measured on a frozen snapshot so the scan cannot race
+	// concurrent ingest (and reflects the published head, matching what
+	// requests actually observe).
+	out.Storage = storageStats(ds.db.Snapshot())
 	out.Storage.Provenance = ds.prov
 	return out
+}
+
+// addPipeline folds one shard's cumulative pipeline counters into a total.
+func addPipeline(a *sqlexec.PipelineStats, b sqlexec.PipelineStats) {
+	a.StreamedExists += b.StreamedExists
+	a.FallbackExists += b.FallbackExists
+	a.IndexSeeds += b.IndexSeeds
+	a.IndexProbes += b.IndexProbes
+	a.PrefixHits += b.PrefixHits
+	a.JoinsBuilt += b.JoinsBuilt
+	a.MorselRuns += b.MorselRuns
+	a.Morsels += b.Morsels
+	a.MorselWorkers += b.MorselWorkers
 }
 
 // storageStats snapshots the database's columnar footprint.

@@ -18,19 +18,16 @@ import (
 // same join path share a single materialization instead of duplicating it.
 //
 // A cache may outlive one request — the service layer shares one JoinCache
-// per database across all requests. Each public entry point compares the
-// database generation against the one the memos were built at and drops
-// them when rows have been inserted since, so queries issued after an
-// Insert completes never see pre-Insert joins. (As with the underlying
-// storage, mutating the database while queries are in flight is not
-// supported.)
+// per database epoch across all requests. The cache assumes its database is
+// an immutable view (the service layer hands it a frozen epoch snapshot, see
+// storage.Database.Snapshot): memos are never invalidated, so a write to the
+// live database can never evict another reader's warm joins — readers that
+// want the new rows use a new snapshot's cache. Handing a JoinCache a live,
+// still-mutating database is not supported.
 type JoinCache struct {
 	db *storage.Database
 	mu sync.Mutex
 	m  map[string]*joinEntry
-	// gen is the database generation the current memo map was built
-	// against.
-	gen int64
 
 	pc pipelineCounters
 }
@@ -46,24 +43,101 @@ type joinEntry struct {
 	done bool
 	rel  *relation
 	err  error
+
+	// jp is the path that first requested this signature, recorded at entry
+	// creation (immutable afterwards) so WarmFrom can re-materialize the
+	// join against a newer snapshot without reverse-parsing the signature.
+	jp *sqlir.JoinPath
 }
 
-// NewJoinCache builds a cache for a database.
+// NewJoinCache builds a cache for a database (normally a frozen epoch
+// snapshot; see the type comment).
 func NewJoinCache(db *storage.Database) *JoinCache {
-	return &JoinCache{db: db, m: map[string]*joinEntry{}, gen: db.Generation()}
+	return &JoinCache{db: db, m: map[string]*joinEntry{}}
 }
 
-// validate drops every memoized join built against an older database
-// generation; the next materialization rebuilds from current rows. Called on
-// each public entry point, so a shared cache self-invalidates after Insert.
-func (c *JoinCache) validate() {
-	g := c.db.Generation()
-	c.mu.Lock()
-	if c.gen != g {
-		c.m = map[string]*joinEntry{}
-		c.gen = g
+// NewJoinCacheFrom builds a cache for a new epoch snapshot, carrying
+// forward the previous epoch's memoized joins whose paths touch only
+// tables unchanged between the two snapshots. Unchanged tables share the
+// same frozen *Table across epochs (storage.Database.Snapshot reuses
+// them), so a carried relation is bit-identical to what the new cache
+// would recompute; paths through a changed table are not carried and
+// rebuild on demand. prev may still be serving other readers — entries
+// are copied, never moved.
+func NewJoinCacheFrom(db *storage.Database, prev *JoinCache) *JoinCache {
+	c := NewJoinCache(db)
+	if prev == nil {
+		return c
 	}
-	c.mu.Unlock()
+	// Snapshot the entry set first: holding prev.mu while taking entry
+	// locks would invert the entry→cache lock order build uses on its
+	// prefix probe and could deadlock with an in-flight materialization.
+	prev.mu.Lock()
+	entries := make(map[string]*joinEntry, len(prev.m))
+	for sig, e := range prev.m {
+		entries[sig] = e
+	}
+	prev.mu.Unlock()
+	for sig, e := range entries {
+		if !carriable(db, prev.db, sig) {
+			continue
+		}
+		e.mu.Lock()
+		done, rel, err := e.done, e.rel, e.err
+		e.mu.Unlock()
+		if done && err == nil {
+			c.m[sig] = &joinEntry{done: true, rel: rel, jp: e.jp}
+		}
+	}
+	return c
+}
+
+// WarmFrom re-materializes, against this cache's snapshot, every join path
+// the previous epoch's cache had memoized but this cache did not carry
+// forward (the path touches a changed table). The writer calls this right
+// after publishing an epoch: the write pays to rebuild exactly what it
+// invalidated, so the next reader's latency stays flat across the epoch
+// boundary instead of spiking on cold joins. Best-effort — a failed build
+// leaves the entry for the next reader to retry.
+func (c *JoinCache) WarmFrom(ctx context.Context, prev *JoinCache) {
+	if prev == nil {
+		return
+	}
+	prev.mu.Lock()
+	sigs := make([]string, 0, len(prev.m))
+	paths := make([]*sqlir.JoinPath, 0, len(prev.m))
+	for sig, e := range prev.m {
+		sigs = append(sigs, sig)
+		paths = append(paths, e.jp)
+	}
+	prev.mu.Unlock()
+	for i, sig := range sigs {
+		if paths[i] == nil {
+			continue
+		}
+		c.mu.Lock()
+		_, have := c.m[sig]
+		c.mu.Unlock()
+		if !have {
+			c.materialize(ctx, paths[i]) //nolint:errcheck // warming is best-effort
+		}
+	}
+}
+
+// carriable reports whether every table named in a join signature resolves
+// to the same frozen *Table in both snapshots (sig format: "t1,t2|edges").
+func carriable(db, prev *storage.Database, sig string) bool {
+	names, _, ok := strings.Cut(sig, "|")
+	if !ok || names == "" {
+		return false
+	}
+	for _, name := range strings.Split(names, ",") {
+		t := db.Table(name)
+		if t == nil || t != prev.Table(name) {
+			return false
+		}
+	}
+	return true
 }
 
 // Size returns the number of cached join paths.
@@ -108,7 +182,7 @@ func (c *JoinCache) materialize(ctx context.Context, jp *sqlir.JoinPath) (*relat
 	c.mu.Lock()
 	e, ok := c.m[sig]
 	if !ok {
-		e = &joinEntry{}
+		e = &joinEntry{jp: jp}
 		c.m[sig] = e
 	}
 	c.mu.Unlock()
@@ -171,7 +245,6 @@ func (c *JoinCache) Exists(eq ExistsQuery) (bool, error) {
 
 // ExistsCtx is the cache-backed Exists under a request context.
 func (c *JoinCache) ExistsCtx(ctx context.Context, eq ExistsQuery) (bool, error) {
-	c.validate()
 	return existsWith(ctx, c.db, eq, &c.pc, func(jp *sqlir.JoinPath) (*relation, error) {
 		return c.materialize(ctx, jp)
 	})

@@ -62,7 +62,6 @@ func (c *JoinCache) ExecuteCtx(ctx context.Context, q *sqlir.Query) (*Result, er
 	if q == nil || !q.Complete() {
 		return nil, fmt.Errorf("sqlexec: query is not complete: %v", q)
 	}
-	c.validate()
 	rel, err := c.materialize(ctx, q.From)
 	if err != nil {
 		return nil, err

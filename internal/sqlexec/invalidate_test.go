@@ -5,14 +5,17 @@ import (
 
 	"github.com/duoquest/duoquest/internal/sqlir"
 	"github.com/duoquest/duoquest/internal/sqlparse"
+	"github.com/duoquest/duoquest/internal/storage"
 )
 
-// A long-lived JoinCache (one per database in the service layer) must not
-// serve pre-Insert answers: every public entry point revalidates against the
-// database generation.
-func TestJoinCacheInvalidatesOnInsert(t *testing.T) {
+// A long-lived JoinCache is bound to one immutable epoch snapshot: a write
+// to the live database never touches it. Readers that want the new rows
+// take a new snapshot and a new cache; readers pinned to the old epoch keep
+// their warm memos and their pre-write answers.
+func TestJoinCachePinnedEpochSurvivesInsert(t *testing.T) {
 	db := movieDB()
-	c := NewJoinCache(db)
+	snap := db.Snapshot()
+	c := NewJoinCache(snap)
 
 	eq := ExistsQuery{
 		From:  pathOf("movie"),
@@ -31,23 +34,39 @@ func TestJoinCacheInvalidatesOnInsert(t *testing.T) {
 
 	db.Table("movie").MustInsert(num(9), text("Interstellar"), num(2014), num(677))
 
-	if ok, err := c.Exists(eq); err != nil || !ok {
-		t.Errorf("Exists after insert = %v, %v; want true", ok, err)
+	// The pinned cache still answers at its epoch.
+	if ok, err := c.Exists(eq); err != nil || ok {
+		t.Errorf("pinned Exists after insert = %v, %v; want false (old epoch)", ok, err)
 	}
 	res, err = c.Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(res.Rows) != before {
+		t.Errorf("pinned Execute after insert returned %d rows, want %d", len(res.Rows), before)
+	}
+
+	// A cache on the next snapshot sees the new row.
+	c2 := NewJoinCache(db.Snapshot())
+	if ok, err := c2.Exists(eq); err != nil || !ok {
+		t.Errorf("fresh-epoch Exists after insert = %v, %v; want true", ok, err)
+	}
+	res, err = c2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != before+1 {
-		t.Errorf("Execute after insert returned %d rows, want %d", len(res.Rows), before+1)
+		t.Errorf("fresh-epoch Execute returned %d rows, want %d", len(res.Rows), before+1)
 	}
 }
 
-// A joined Execute exercises the materialized-path memo; the memo must be
-// dropped, not extended, after an Insert.
-func TestJoinCacheJoinInvalidatesOnInsert(t *testing.T) {
+// The zero-eviction regression for the stampede this design removes: a bulk
+// append to the live database during an in-flight session must not evict a
+// single memoized join from the pinned epoch's cache.
+func TestJoinCacheZeroEvictionsOnBulkAppend(t *testing.T) {
 	db := movieDB()
-	c := NewJoinCache(db)
+	snap := db.Snapshot()
+	c := NewJoinCache(snap)
 	q := sqlparse.MustParse(db.Schema,
 		"SELECT actor.name FROM actor JOIN starring ON starring.aid = actor.aid")
 	res, err := c.Execute(q)
@@ -55,16 +74,43 @@ func TestJoinCacheJoinInvalidatesOnInsert(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := len(res.Rows)
-	if c.Size() == 0 {
+	size := c.Size()
+	if size == 0 {
 		t.Fatal("expected a cached join path")
 	}
+	built := c.Stats().JoinsBuilt
 
-	db.Table("starring").MustInsert(num(9), num(2), num(3)) // Bullock in Fight Club
+	if _, err := db.Append("starring", []storage.ColumnData{
+		{Nums: []float64{9}},
+		{Nums: []float64{2}},
+		{Nums: []float64{3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-running the same query on the pinned cache is a pure cache hit:
+	// same rows, no join rebuilt, nothing evicted.
 	res, err = c.Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(res.Rows) != before {
+		t.Errorf("pinned joined rows after append = %d, want %d", len(res.Rows), before)
+	}
+	if got := c.Size(); got != size {
+		t.Errorf("cache size after append = %d, want %d (zero evictions)", got, size)
+	}
+	if got := c.Stats().JoinsBuilt; got != built {
+		t.Errorf("joins built after append = %d, want %d (no rebuild)", got, built)
+	}
+
+	// And the new epoch's cache sees the appended row.
+	c2 := NewJoinCache(db.Snapshot())
+	res, err = c2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != before+1 {
-		t.Errorf("joined rows after insert = %d, want %d", len(res.Rows), before+1)
+		t.Errorf("fresh-epoch joined rows = %d, want %d", len(res.Rows), before+1)
 	}
 }

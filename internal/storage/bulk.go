@@ -119,6 +119,9 @@ func (t *Table) bulkAppend(cols []ColumnData, trusted bool) error {
 	if d := faultinject.Global().IngestStall(); d > 0 {
 		time.Sleep(d)
 	}
+	if t.frozen {
+		return fmt.Errorf("storage: table %s: cannot append to a frozen snapshot", t.Name)
+	}
 	if len(cols) != len(t.Columns) {
 		return fmt.Errorf("storage: table %s: bulk append has %d columns, want %d", t.Name, len(cols), len(t.Columns))
 	}
@@ -176,6 +179,7 @@ func (t *Table) bulkAppend(cols []ColumnData, trusted bool) error {
 	t.hashMu.Lock()
 	t.hash = nil
 	t.codeIdx = nil
+	t.stats = nil
 	t.hashMu.Unlock()
 	t.gen.Add(1)
 	return nil
@@ -236,6 +240,7 @@ func (v *ColumnVec) appendBulk(c ColumnData, n int, trusted bool) {
 			for i := 0; i < n; i++ {
 				if c.isNull(i) {
 					ri := base + i
+					v.cowNulls(ri)
 					v.nulls[ri>>6] |= 1 << (uint(ri) & 63)
 					v.nullCount++
 					v.nums[ri] = 0
@@ -262,6 +267,7 @@ func (v *ColumnVec) appendBulk(c ColumnData, n int, trusted bool) {
 		for i, s := range c.Texts {
 			if c.isNull(i) {
 				ri := base + i
+				v.cowNulls(ri)
 				v.nulls[ri>>6] |= 1 << (uint(ri) & 63)
 				v.nullCount++
 				v.codes = append(v.codes, 0)
@@ -325,6 +331,7 @@ func (v *ColumnVec) appendCodes(c ColumnData, base int) {
 	for i, code := range c.Codes {
 		if c.isNull(i) {
 			ri := base + i
+			v.cowNulls(ri)
 			v.nulls[ri>>6] |= 1 << (uint(ri) & 63)
 			v.nullCount++
 			v.codes = append(v.codes, 0)

@@ -216,20 +216,22 @@ func TestBulkAppendMixedWithInsert(t *testing.T) {
 	}
 }
 
-// TestBulkAppendGeneration: one batch moves the generation once, so caches
-// invalidate per batch instead of per row.
+// TestBulkAppendGeneration: one Database.Append batch publishes exactly one
+// epoch, so snapshot readers see batch boundaries, not per-row churn.
 func TestBulkAppendGeneration(t *testing.T) {
 	tb := bulkTable()
-	g0 := tb.Generation()
-	if err := tb.BulkAppend([]ColumnData{
+	db := NewDatabase("bulk", NewSchema(tb))
+	e0 := db.Publish()
+	epoch, err := db.Append(tb.Name, []ColumnData{
 		{Nums: []float64{1, 2, 3}},
 		{Texts: []string{"a", "b", "c"}},
 		{Nums: []float64{4, 5, 6}},
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tb.Generation() - g0; got != 1 {
-		t.Fatalf("generation moved by %d for one batch, want 1", got)
+	if got := epoch - e0; got != 1 {
+		t.Fatalf("epoch moved by %d for one batch, want 1", got)
 	}
 	// A built index is invalidated by the next batch.
 	if _, err := tb.Index("name"); err != nil {

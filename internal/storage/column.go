@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/duoquest/duoquest/internal/sqlir"
 )
@@ -115,6 +116,26 @@ type ColumnVec struct {
 	nulls     []uint64 // bitmap, bit i set = row i is NULL
 	n         int
 	nullCount int
+
+	// sealedWords is the null-bitmap length at the last epoch publication
+	// (epoch.go): snapshot readers share nulls[:sealedWords], so setting a
+	// null bit inside that prefix — only ever possible in the partially
+	// filled boundary word — must copy the bitmap first (cowNulls). Zero
+	// means no published snapshot shares the bitmap.
+	sealedWords int
+}
+
+// cowNulls makes the null bitmap safe to mutate in place at row ri. Value
+// and code appends only ever write past the published lengths, but a null
+// bit for a new row can land in a published epoch's partially filled last
+// word. The first such write after a publication copies the bitmap once
+// (O(rows/64), amortised over all subsequent appends); vectors never
+// captured in a snapshot pay nothing.
+func (v *ColumnVec) cowNulls(ri int) {
+	if v.sealedWords > 0 && ri>>6 < v.sealedWords {
+		v.nulls = append(make([]uint64, 0, cap(v.nulls)), v.nulls...)
+		v.sealedWords = 0
+	}
 }
 
 // Type returns the column's declared type.
@@ -166,6 +187,7 @@ func (v *ColumnVec) appendValue(val sqlir.Value) {
 		v.nulls = append(v.nulls, 0)
 	}
 	if val.IsNull() {
+		v.cowNulls(i)
 		v.nulls[i>>6] |= 1 << (uint(i) & 63)
 		v.nullCount++
 		switch v.typ {
@@ -225,6 +247,11 @@ type CodeIndex struct {
 	// live at dense[int(v)-off]. nil when the column is not dense.
 	dense [][]int32
 	off   int
+
+	// ready flips after the build completes; Table.adoptBase only extends
+	// ready indexes so it never races an in-flight build on the
+	// still-serving base table.
+	ready atomic.Bool
 }
 
 // Num returns the posting list for a float value (nil when absent).
@@ -305,6 +332,70 @@ func (ix *CodeIndex) build() {
 	}
 }
 
+// extendFrom populates the index from the previous epoch's ready index over
+// the same column: posting lists are shared cap-clamped (delta appends
+// reallocate instead of writing into the base's arrays) and only rows
+// [baseN, vec.n) are scanned. Reports false when the delta cannot keep the
+// base's dense layout — a non-integer or out-of-range value would shift
+// every slot — in which case the caller falls back to a full lazy build.
+func (ix *CodeIndex) extendFrom(base *CodeIndex, baseN int) bool {
+	vec := ix.vec
+	switch {
+	case base.dense != nil:
+		for i := baseN; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			f := vec.nums[i]
+			if f != math.Trunc(f) || f < float64(base.off) || f >= float64(base.off+len(base.dense)) {
+				return false
+			}
+		}
+		ix.off = base.off
+		ix.dense = make([][]int32, len(base.dense))
+		for s, list := range base.dense {
+			ix.dense[s] = list[:len(list):len(list)]
+		}
+		for i := baseN; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			slot := int(vec.nums[i]) - ix.off
+			ix.dense[slot] = append(ix.dense[slot], int32(i))
+		}
+	case base.num != nil:
+		ix.num = make(map[float64][]int32, len(base.num))
+		for f, list := range base.num {
+			ix.num[f] = list[:len(list):len(list)]
+		}
+		for i := baseN; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			ix.num[vec.nums[i]] = append(ix.num[vec.nums[i]], int32(i))
+		}
+	case vec.typ == sqlir.TypeText:
+		size := 0
+		if vec.dict != nil {
+			size = vec.dict.Size()
+		}
+		ix.text = make([][]int32, size)
+		for c, list := range base.text {
+			ix.text[c] = list[:len(list):len(list)]
+		}
+		for i := baseN; i < vec.n; i++ {
+			if vec.IsNull(i) {
+				continue
+			}
+			c := vec.codes[i]
+			ix.text[c] = append(ix.text[c], int32(i))
+		}
+	default:
+		return false
+	}
+	return true
+}
+
 // buildDense tries the array-backed layout: every non-null value must be an
 // integer and the value range must stay within a small multiple of the row
 // count (so id-like columns qualify and sparse ones fall back to the map).
@@ -369,6 +460,7 @@ func (t *Table) CodeIndex(col string) (*CodeIndex, error) {
 	if ci < 0 {
 		return nil, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
 	}
+	t.adoptBase()
 	t.hashMu.Lock()
 	if t.codeIdx == nil {
 		t.codeIdx = map[int]*CodeIndex{}
@@ -380,6 +472,7 @@ func (t *Table) CodeIndex(col string) (*CodeIndex, error) {
 	}
 	t.hashMu.Unlock()
 	ix.once.Do(ix.build)
+	ix.ready.Store(true)
 	return ix, nil
 }
 

@@ -1,0 +1,285 @@
+// Epoch-based snapshot isolation (MVCC-lite). Storage is append-only — rows
+// are inserted, never updated or deleted — so a consistent snapshot of a
+// database is nothing more than a per-table row watermark plus the
+// dictionary sizes at one instant. Writers publish immutable *epochs*:
+// numbered views whose column vectors are capacity-clamped slice headers
+// over the live backing arrays. Later appends only ever write past the
+// published lengths (the null bitmap's partially filled boundary word is
+// copy-on-write, see ColumnVec.cowNulls), so every published epoch stays
+// valid forever at zero copy cost.
+//
+// Readers obtain a snapshot as a frozen *Database — structurally identical
+// to a live one, so the whole query stack (sqlexec, verify, enumerate,
+// autocomplete) runs on it unchanged — and caches key by the frozen
+// database identity instead of being invalidated on write. Concurrency
+// contract: once concurrent readers exist, all mutation must go through
+// Database.Append (which serializes with publication); the table-level
+// Insert/BulkAppend APIs remain build-phase-only.
+package storage
+
+import (
+	"fmt"
+	"maps"
+	"sync"
+	"sync/atomic"
+)
+
+// epochRetention bounds how many published epochs stay addressable through
+// SnapshotAt. Older epochs are forgotten (their frozen databases remain
+// valid for readers already holding them, they just can no longer be pinned
+// by number). Sixteen epochs comfortably cover every in-flight synthesis
+// session under sustained ingest without retaining unbounded view metadata.
+const epochRetention = 16
+
+// tableView is one table's state at publication: the generation it was
+// captured at (to detect staleness and to share views across epochs for
+// untouched tables) and a capacity-clamped copy of each column vector. The
+// frozen Table is materialized lazily on first snapshot request and
+// memoized, so all readers of an epoch share one table — and therefore one
+// set of lazily built hash/posting-list indexes.
+type tableView struct {
+	gen  int64
+	cols []ColumnVec
+
+	// base is the previous epoch's frozen table when it had completed base
+	// adoption by publication time: the new frozen table seeds its row
+	// adapter and extends its warm indexes from it (Table.adoptBase —
+	// append-only rows make prefixes shareable) instead of rebuilding from
+	// scratch. Cleared on freeze.
+	base *Table
+
+	once sync.Once
+	tbl  atomic.Pointer[Table]
+}
+
+// dbView is one published epoch: a number and the per-table views. Views of
+// tables untouched since the previous epoch are shared with it, so an
+// ingest burst into one table does not re-freeze (or re-index) the others.
+type dbView struct {
+	epoch  int64
+	tables []*tableView
+
+	once   sync.Once
+	frozen *Database
+}
+
+// captureView snapshots the table's vectors under the database write lock.
+// Each clamp seals the vector: the full-slice expressions pin length and
+// capacity so a reader can never observe a later in-place append, and
+// sealedWords arms the null-bitmap copy-on-write for the boundary word.
+func (t *Table) captureView() *tableView {
+	tv := &tableView{gen: t.gen.Load(), cols: make([]ColumnVec, len(t.vecs))}
+	for i := range t.vecs {
+		v := &t.vecs[i]
+		fv := ColumnVec{
+			typ:       v.typ,
+			nums:      v.nums[:len(v.nums):len(v.nums)],
+			codes:     v.codes[:len(v.codes):len(v.codes)],
+			nulls:     v.nulls[:len(v.nulls):len(v.nulls)],
+			n:         v.n,
+			nullCount: v.nullCount,
+		}
+		if v.dict != nil {
+			// The frozen dictionary shares the interned strings (clamped at
+			// the current size) but owns its lookup map: the live
+			// dictionary's map keeps growing under intern, and the blob
+			// survives here even if a later intern clears the live one (the
+			// clamped prefix still matches the adopted concatenation). When
+			// the live map exists it is cloned outright — under the write
+			// lock it covers exactly the clamped strings, and maps.Clone is
+			// a bucket copy, so an epoch boundary never re-hashes the whole
+			// dictionary (ensureMap skips the build when codes is pre-set).
+			size := len(v.dict.strs)
+			fv.dict = &Dict{strs: v.dict.strs[:size:size], blob: v.dict.blob}
+			if v.dict.codes != nil {
+				fv.dict.codes = maps.Clone(v.dict.codes)
+			}
+		}
+		v.sealedWords = len(v.nulls)
+		tv.cols[i] = fv
+	}
+	return tv
+}
+
+// freeze materializes the view as a read-only Table, once.
+func (tv *tableView) freeze(src *Table) *Table {
+	tv.once.Do(func() {
+		ft := NewTable(src.Name, src.PrimaryKey, src.Columns...)
+		copy(ft.vecs, tv.cols)
+		ft.frozen = true
+		ft.base = tv.base
+		tv.base = nil
+		tv.tbl.Store(ft)
+	})
+	return tv.tbl.Load()
+}
+
+// freeze materializes the epoch as a read-only Database, once. Unchanged
+// tables reuse the previous epoch's frozen Table (same pointer), so their
+// lazy indexes and statistics memos carry across epochs untouched.
+func (v *dbView) freeze(src *Database) *Database {
+	v.once.Do(func() {
+		tables := make([]*Table, len(v.tables))
+		for i, tv := range v.tables {
+			tables[i] = tv.freeze(src.Schema.Tables[i])
+		}
+		sch := NewSchema(tables...)
+		sch.ForeignKeys = append([]ForeignKey(nil), src.Schema.ForeignKeys...)
+		fdb := NewDatabase(src.Name, sch)
+		fdb.frozen = true
+		fdb.snapEpoch = v.epoch
+		v.frozen = fdb
+	})
+	return v.frozen
+}
+
+// changedSince reports whether any table mutated after the view was
+// captured. Generations are atomics, so the check is safe against a
+// concurrent Append and costs one load per table.
+func (d *Database) changedSince(v *dbView) bool {
+	if len(v.tables) != len(d.Schema.Tables) {
+		return true
+	}
+	for i, t := range d.Schema.Tables {
+		if t.gen.Load() != v.tables[i].gen {
+			return true
+		}
+	}
+	return false
+}
+
+// publishLocked captures a new epoch. Caller holds writeMu. Views of tables
+// whose generation did not move are shared with the previous epoch.
+func (d *Database) publishLocked() *dbView {
+	prev := d.latest.Load()
+	d.epochSeq++
+	nv := &dbView{epoch: d.epochSeq, tables: make([]*tableView, len(d.Schema.Tables))}
+	for i, t := range d.Schema.Tables {
+		if prev != nil && i < len(prev.tables) && prev.tables[i].gen == t.gen.Load() {
+			nv.tables[i] = prev.tables[i]
+			continue
+		}
+		ntv := t.captureView()
+		if prev != nil && i < len(prev.tables) {
+			// Hand the new view the previous epoch's frozen table so the new
+			// epoch's first reader extends its warm row adapter and indexes
+			// with just the appended rows (Table.adoptBase). Requiring
+			// adopted here also bounds base chains: an adopted table has
+			// dropped its own base, so links never accumulate transitively.
+			if pt := prev.tables[i].tbl.Load(); pt != nil && pt.adopted.Load() {
+				ntv.base = pt
+			}
+		}
+		nv.tables[i] = ntv
+	}
+	d.latest.Store(nv)
+	d.retainMu.Lock()
+	d.retained = append(d.retained, nv)
+	if len(d.retained) > epochRetention {
+		d.retained = d.retained[len(d.retained)-epochRetention:]
+	}
+	d.retainMu.Unlock()
+	return nv
+}
+
+// Epoch returns the latest published epoch number (0 before the first
+// publication). On a frozen snapshot it returns the pinned epoch.
+func (d *Database) Epoch() int64 {
+	if d.frozen {
+		return d.snapEpoch
+	}
+	if v := d.latest.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
+// Frozen reports whether the database is an immutable epoch snapshot.
+func (d *Database) Frozen() bool { return d.frozen }
+
+// Snapshot returns an immutable view of the latest data as a frozen
+// Database. If build-phase mutations happened since the last publication,
+// a fresh epoch is published first, so sequential insert-then-query code
+// observes its own writes without an explicit Publish. The returned
+// database is memoized per epoch: two snapshots of the same epoch are the
+// same pointer, which is what lets caches key by database identity.
+func (d *Database) Snapshot() *Database {
+	if d.frozen {
+		return d
+	}
+	if v := d.latest.Load(); v != nil && !d.changedSince(v) {
+		return v.freeze(d)
+	}
+	d.writeMu.Lock()
+	v := d.latest.Load()
+	if v == nil || d.changedSince(v) {
+		v = d.publishLocked()
+	}
+	d.writeMu.Unlock()
+	return v.freeze(d)
+}
+
+// SnapshotAt returns the frozen database for a specific published epoch.
+// Epoch 0 means "latest" (exactly Snapshot). A retired or never-published
+// epoch is an error — the caller's pin can no longer be honoured.
+func (d *Database) SnapshotAt(epoch int64) (*Database, error) {
+	if epoch == 0 {
+		return d.Snapshot(), nil
+	}
+	if d.frozen {
+		if epoch == d.snapEpoch {
+			return d, nil
+		}
+		return nil, fmt.Errorf("storage: database %s: snapshot is pinned at epoch %d, cannot serve epoch %d", d.Name, d.snapEpoch, epoch)
+	}
+	d.retainMu.Lock()
+	var v *dbView
+	for _, rv := range d.retained {
+		if rv.epoch == epoch {
+			v = rv
+			break
+		}
+	}
+	d.retainMu.Unlock()
+	if v == nil {
+		return nil, fmt.Errorf("storage: database %s: epoch %d is not retained (head %d, retention %d)", d.Name, epoch, d.Epoch(), epochRetention)
+	}
+	return v.freeze(d), nil
+}
+
+// Publish forces publication of the current data as a new epoch if anything
+// changed since the last one, and returns the resulting head epoch number.
+func (d *Database) Publish() int64 {
+	if d.frozen {
+		return d.snapEpoch
+	}
+	d.writeMu.Lock()
+	v := d.latest.Load()
+	if v == nil || d.changedSince(v) {
+		v = d.publishLocked()
+	}
+	d.writeMu.Unlock()
+	return v.epoch
+}
+
+// Append bulk-appends one batch to the named table and publishes the result
+// as a new epoch, returning its number. This is the only mutation that may
+// run concurrently with snapshot readers: the write lock serializes batches
+// and publication, and published epochs are never written again. The
+// returned epoch already includes the batch, so a SnapshotAt on it (or any
+// later Snapshot) observes the new rows while earlier epochs do not.
+func (d *Database) Append(table string, cols []ColumnData) (int64, error) {
+	if d.frozen {
+		return 0, fmt.Errorf("storage: database %s: cannot append to a frozen snapshot (epoch %d)", d.Name, d.snapEpoch)
+	}
+	t := d.Schema.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("storage: no table %s", table)
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if err := t.BulkAppend(cols); err != nil {
+		return 0, err
+	}
+	return d.publishLocked().epoch, nil
+}

@@ -34,6 +34,12 @@ type ManifestColumn struct {
 type ManifestSegment struct {
 	Rows   int      `json:"rows"`
 	Chunks []string `json:"chunks"`
+	// Epoch is the storage epoch the flushed batch was published as
+	// (AppendSegment routes the batch through Database.Append). Zero for
+	// segments written by a full Persist, whose batches predate epoch
+	// publication. Informational on load: replay reconstructs the data,
+	// not the historical epoch numbering.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ManifestTable is one persisted table: schema plus its segment list.

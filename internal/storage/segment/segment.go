@@ -240,12 +240,14 @@ func (s *Store) PersistAs(name string, db *storage.Database) (*Manifest, error) 
 	return m, nil
 }
 
-// AppendSegment flushes one BulkAppend batch through to disk: the batch is
-// applied to the live table, its payload is written as one new segment (one
-// chunk per column), and the manifest is atomically rewritten with the new
-// segment and the table's post-append fingerprint. Old chunks are never
-// touched — the store stays append-only. On error the on-disk state still
-// describes a consistent database (the pre-append snapshot); re-Persist to
+// AppendSegment flushes one bulk batch through to disk: the batch is
+// applied to the live database via Database.Append — publishing it as a new
+// storage epoch, so concurrent snapshot readers are isolated from the
+// flush — its payload is written as one new segment (one chunk per column),
+// and the manifest is atomically rewritten with the new segment, its epoch,
+// and the table's post-append fingerprint. Old chunks are never touched —
+// the store stays append-only. On error the on-disk state still describes a
+// consistent database (the pre-append snapshot); re-Persist to
 // resynchronize.
 func (s *Store) AppendSegment(name string, db *storage.Database, table string, cols []storage.ColumnData) error {
 	m, err := s.Manifest(name)
@@ -270,14 +272,19 @@ func (s *Store) AppendSegment(name string, db *storage.Database, table string, c
 		return fmt.Errorf("segment: manifest for %s has no table %s", name, table)
 	}
 	before := t.NumRows()
-	if err := t.BulkAppend(cols); err != nil {
+	// Route through Database.Append so every flushed batch is also a
+	// published epoch: readers pinned to earlier epochs keep their view
+	// while the flush becomes visible atomically, and the manifest records
+	// which epoch each durable segment corresponds to.
+	epoch, err := db.Append(table, cols)
+	if err != nil {
 		return err
 	}
 	rows := t.NumRows() - before
 	if rows == 0 {
 		return nil
 	}
-	seg := ManifestSegment{Rows: rows}
+	seg := ManifestSegment{Rows: rows, Epoch: epoch}
 	for ci, c := range cols {
 		addr, err := s.writeChunk(name, encodeColumn(normalize(c), rows))
 		if err != nil {

@@ -169,6 +169,20 @@ func TestAppendSegment(t *testing.T) {
 	if got := m.Segments(); got != 3 {
 		t.Fatalf("segments = %d, want 3", got)
 	}
+	// The flush went through Database.Append, so the manifest records the
+	// storage epoch the batch was published as (Persist-era segments stay 0).
+	if got, want := db.Epoch(), int64(1); got < want {
+		t.Fatalf("database epoch after flush = %d, want >= %d", got, want)
+	}
+	for _, mt := range m.Tables {
+		if mt.Name != "movies" {
+			continue
+		}
+		last := mt.Segments[len(mt.Segments)-1]
+		if last.Epoch != db.Epoch() {
+			t.Fatalf("flushed segment epoch = %d, want %d", last.Epoch, db.Epoch())
+		}
+	}
 	loaded, _, err := store.Load(db.Name)
 	if err != nil {
 		t.Fatal(err)

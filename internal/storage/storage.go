@@ -56,14 +56,32 @@ type Table struct {
 	vecs   []ColumnVec
 	colIdx map[string]int
 
-	// gen counts data changes; cross-request caches (join cache,
-	// verification memos, column statistics) compare generations to detect
-	// staleness after an Insert.
+	// gen counts data changes. It is purely internal: epoch publication
+	// (epoch.go) compares generations to decide which tables need a fresh
+	// view and which can share the previous epoch's. Cross-request caches
+	// no longer watch it — they key by frozen snapshot identity instead.
 	gen atomic.Int64
+
+	// frozen marks an immutable epoch snapshot table (epoch.go); mutation
+	// attempts fail instead of corrupting published epochs.
+	frozen bool
+
+	// base is the previous epoch's frozen table (set at freeze, epoch.go).
+	// adoptBase seeds the row-adapter prefix and extends the base's ready
+	// indexes with just the appended suffix, then drops the reference, so
+	// an epoch boundary costs O(delta) instead of O(n) on first read.
+	base      *Table
+	adoptOnce sync.Once
+	adopted   atomic.Bool
 
 	hashMu  sync.Mutex
 	hash    map[string]*hashIndex
 	codeIdx map[int]*CodeIndex
+	// stats memoizes per-column statistics, cleared together with the lazy
+	// indexes on mutation (direct invalidation — the table knows exactly
+	// when its own data changes). Frozen snapshot tables never clear it, so
+	// an epoch's statistics are computed at most once, ever.
+	stats map[string]ColumnStats
 }
 
 // hashIndex is one lazily built per-column hash index. The sync.Once gates
@@ -72,6 +90,11 @@ type Table struct {
 type hashIndex struct {
 	once sync.Once
 	m    map[sqlir.Value][]int32
+
+	// ready flips after the build completes; adoptBase only extends ready
+	// indexes so it never races an in-flight build on the still-serving
+	// base table.
+	ready atomic.Bool
 }
 
 // NewTable creates an empty table.
@@ -119,6 +142,7 @@ func (t *Table) syncRows() {
 	if t.rowsReady.Load() {
 		return
 	}
+	t.adoptBase()
 	t.rowsMu.Lock()
 	defer t.rowsMu.Unlock()
 	n := t.NumRows()
@@ -138,6 +162,116 @@ func (t *Table) syncRows() {
 		}
 	}
 	t.rowsReady.Store(true)
+}
+
+// adoptBase performs the one-shot adoption of the previous epoch's frozen
+// table (handed over at freeze, epoch.go): the row-adapter prefix is
+// borrowed outright — rows are append-only and immutable, so only the
+// suffix needs boxing — and every hash/posting-list index the base had
+// already built is extended in place with just the appended rows. Every
+// lazy-structure entry point (syncRows, Index, CodeIndex) calls it first,
+// so adoption always precedes a from-scratch build. The base reference is
+// dropped afterwards and publication (epoch.go) only links adopted tables
+// as bases, so chains never deepen past one hop.
+func (t *Table) adoptBase() {
+	t.adoptOnce.Do(func() {
+		b := t.base
+		if b == nil {
+			t.adopted.Store(true)
+			return
+		}
+		n := t.NumRows()
+		baseN := b.NumRows()
+		if b.rowsReady.Load() && baseN <= n {
+			t.rowsMu.Lock()
+			if len(t.rows) == 0 {
+				// The full-slice expression caps capacity at the base's
+				// length, so materializing this epoch's suffix reallocates
+				// instead of writing into the base's backing array.
+				t.rows = b.rows[:baseN:baseN]
+				if baseN == n {
+					t.rowsReady.Store(true)
+				}
+			}
+			t.rowsMu.Unlock()
+		}
+		t.adoptHashes(b, baseN, n)
+		t.adoptCodeIndexes(b, baseN, n)
+		t.base = nil
+		t.adopted.Store(true)
+	})
+}
+
+// adoptHashes extends every ready hash index of the base table: posting
+// lists are shared cap-clamped (appends for delta rows reallocate, never
+// mutate the base's arrays) and only rows [baseN, n) are scanned.
+func (t *Table) adoptHashes(b *Table, baseN, n int) {
+	b.hashMu.Lock()
+	bh := make(map[string]*hashIndex, len(b.hash))
+	for col, h := range b.hash {
+		bh[col] = h
+	}
+	b.hashMu.Unlock()
+	for col, h := range bh {
+		if !h.ready.Load() {
+			continue
+		}
+		ci := t.ColumnIndex(col)
+		if ci < 0 {
+			continue
+		}
+		nm := make(map[sqlir.Value][]int32, len(h.m))
+		for v, list := range h.m {
+			nm[v] = list[:len(list):len(list)]
+		}
+		vec := &t.vecs[ci]
+		for ri := baseN; ri < n; ri++ {
+			v := vec.Value(ri)
+			if v.IsNull() {
+				continue
+			}
+			nm[v] = append(nm[v], int32(ri))
+		}
+		nh := &hashIndex{m: nm}
+		nh.once.Do(func() {}) // mark built so Index never rebuilds it
+		nh.ready.Store(true)
+		t.hashMu.Lock()
+		if t.hash == nil {
+			t.hash = map[string]*hashIndex{}
+		}
+		t.hash[col] = nh
+		t.hashMu.Unlock()
+	}
+}
+
+// adoptCodeIndexes extends every ready typed posting-list index of the base
+// table. An extension that cannot keep the base's dense layout (a delta
+// value outside the dense range) is skipped: the index rebuilds lazily on
+// demand instead.
+func (t *Table) adoptCodeIndexes(b *Table, baseN, n int) {
+	b.hashMu.Lock()
+	bc := make(map[int]*CodeIndex, len(b.codeIdx))
+	for ci, ix := range b.codeIdx {
+		bc[ci] = ix
+	}
+	b.hashMu.Unlock()
+	for ci, bix := range bc {
+		if !bix.ready.Load() || ci >= len(t.vecs) {
+			continue
+		}
+		nix := &CodeIndex{vec: &t.vecs[ci]}
+		if !nix.extendFrom(bix, baseN) {
+			continue
+		}
+		nix.once.Do(func() {}) // mark built so CodeIndex never rebuilds it
+		nix.ready.Store(true)
+		t.hashMu.Lock()
+		if t.codeIdx == nil {
+			t.codeIdx = map[int]*CodeIndex{}
+		}
+		t.codeIdx[ci] = nix
+		t.hashMu.Unlock()
+	}
 }
 
 // debugRowCopies makes Row and Rows return defensive copies so test builds
@@ -204,6 +338,9 @@ func (t *Table) CheckRowColumnConsistency() error {
 // Insert appends a row after checking arity and types. NULLs are accepted in
 // any column.
 func (t *Table) Insert(vals ...sqlir.Value) error {
+	if t.frozen {
+		return fmt.Errorf("storage: table %s: cannot insert into a frozen snapshot", t.Name)
+	}
 	if len(vals) != len(t.Columns) {
 		return fmt.Errorf("storage: table %s: insert arity %d, want %d", t.Name, len(vals), len(t.Columns))
 	}
@@ -226,15 +363,11 @@ func (t *Table) Insert(vals ...sqlir.Value) error {
 	t.hashMu.Lock()
 	t.hash = nil    // built indexes no longer cover the new row
 	t.codeIdx = nil // likewise the typed posting-list indexes
+	t.stats = nil   // and the memoized column statistics
 	t.hashMu.Unlock()
 	t.gen.Add(1)
 	return nil
 }
-
-// Generation returns a counter incremented by every Insert. Caches derived
-// from the table's data record the generation they were built at and rebuild
-// when it moves.
-func (t *Table) Generation() int64 { return t.gen.Load() }
 
 // Index returns the persistent hash index of the named column: non-null
 // value → row ids in row order. The index is built lazily on first request
@@ -247,6 +380,7 @@ func (t *Table) Index(col string) (map[sqlir.Value][]int32, error) {
 	if ci < 0 {
 		return nil, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
 	}
+	t.adoptBase()
 	t.hashMu.Lock()
 	if t.hash == nil {
 		t.hash = map[string]*hashIndex{}
@@ -268,6 +402,7 @@ func (t *Table) Index(col string) (map[sqlir.Value][]int32, error) {
 			h.m[v] = append(h.m[v], int32(ri))
 		}
 	})
+	h.ready.Store(true)
 	return h.m, nil
 }
 
@@ -286,11 +421,34 @@ type ColumnStats struct {
 	NonNull  int
 }
 
-// Stats computes column statistics from the typed vectors (cached by
-// Database): a float scan for numeric columns, and for text columns the
-// distinct count is simply the dictionary size — every interned string was
-// inserted at least once and rows are never deleted.
+// Stats returns memoized column statistics. The memo lives on the table and
+// is cleared together with the lazy indexes whenever the table mutates; on
+// frozen snapshot tables it is therefore computed at most once per epoch.
 func (t *Table) Stats(col string) (ColumnStats, error) {
+	t.hashMu.Lock()
+	if st, ok := t.stats[col]; ok {
+		t.hashMu.Unlock()
+		return st, nil
+	}
+	t.hashMu.Unlock()
+	st, err := t.computeStats(col)
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	t.hashMu.Lock()
+	if t.stats == nil {
+		t.stats = map[string]ColumnStats{}
+	}
+	t.stats[col] = st
+	t.hashMu.Unlock()
+	return st, nil
+}
+
+// computeStats scans the typed vectors: a float scan for numeric columns,
+// and for text columns the distinct count is simply the dictionary size —
+// every interned string was inserted at least once and rows are never
+// deleted.
+func (t *Table) computeStats(col string) (ColumnStats, error) {
 	ci := t.ColumnIndex(col)
 	if ci < 0 {
 		return ColumnStats{}, fmt.Errorf("storage: table %s: no column %s", t.Name, col)
@@ -489,64 +647,44 @@ func (s *Schema) TextColumns() []sqlir.ColumnRef {
 	return out
 }
 
-// Database is a schema plus its data, with memoized statistics.
+// Database is a schema plus its data, with per-table memoized statistics
+// and an epoch publication log (epoch.go) for snapshot-isolated readers.
 type Database struct {
 	Name   string
 	Schema *Schema
 
-	statsMu  sync.Mutex
-	stats    map[sqlir.ColumnRef]ColumnStats
-	statsGen int64
+	// Epoch publication state (epoch.go). writeMu serializes Append batches
+	// and epoch publication; latest holds the newest published view;
+	// retained keeps a bounded window of views addressable by SnapshotAt.
+	writeMu  sync.Mutex
+	latest   atomic.Pointer[dbView]
+	retainMu sync.Mutex
+	retained []*dbView
+	epochSeq int64 // last assigned epoch number; guarded by writeMu
+
+	// frozen marks an immutable epoch snapshot; snapEpoch is its number.
+	frozen    bool
+	snapEpoch int64
 }
 
 // NewDatabase wraps a schema as a database.
 func NewDatabase(name string, schema *Schema) *Database {
-	return &Database{Name: name, Schema: schema, stats: map[sqlir.ColumnRef]ColumnStats{}}
+	return &Database{Name: name, Schema: schema}
 }
 
 // Table returns the named table, or nil.
 func (d *Database) Table(name string) *Table { return d.Schema.Table(name) }
 
-// Generation returns a counter that changes whenever any table's data
-// changes. Long-lived caches over the database compare generations to decide
-// whether their memoized state still describes the current data.
-func (d *Database) Generation() int64 {
-	var g int64
-	for _, t := range d.Schema.Tables {
-		g += t.gen.Load()
-	}
-	return g
-}
-
-// Stats returns memoized column statistics. The memo is dropped whenever the
-// database generation moves, so statistics never describe pre-Insert data.
+// Stats returns memoized column statistics, delegating to the table's own
+// memo. The memo is cleared by the table when its data changes, so
+// statistics never describe pre-mutation data; on a frozen snapshot they
+// are simply permanent.
 func (d *Database) Stats(c sqlir.ColumnRef) (ColumnStats, error) {
-	d.statsMu.Lock()
-	defer d.statsMu.Unlock()
-	if g := d.Generation(); g != d.statsGen {
-		d.stats = map[sqlir.ColumnRef]ColumnStats{}
-		d.statsGen = g
-	}
-	if st, ok := d.stats[c]; ok {
-		return st, nil
-	}
 	t := d.Schema.Table(c.Table)
 	if t == nil {
 		return ColumnStats{}, fmt.Errorf("storage: no table %s", c.Table)
 	}
-	st, err := t.Stats(c.Column)
-	if err != nil {
-		return ColumnStats{}, err
-	}
-	d.stats[c] = st
-	return st, nil
-}
-
-// InvalidateStats clears the memoized statistics (after bulk loads).
-func (d *Database) InvalidateStats() {
-	d.statsMu.Lock()
-	defer d.statsMu.Unlock()
-	d.stats = map[sqlir.ColumnRef]ColumnStats{}
+	return t.Stats(c.Column)
 }
 
 // TotalRows returns the sum of all table row counts.

@@ -262,44 +262,92 @@ func TestDatabaseStatsMemoized(t *testing.T) {
 	if !st.Min.Equal(num(1990)) {
 		t.Errorf("stats min = %v", st.Min)
 	}
-	// Insert moves the database generation, so the memo self-invalidates:
-	// the next Stats call recomputes from current rows.
-	gen := db.Generation()
+	// Insert clears the table's stats memo directly, so the next Stats call
+	// recomputes from current rows.
 	m.MustInsert(num(2), text("B"), num(1800), num(5))
-	if db.Generation() == gen {
-		t.Error("Insert should bump the database generation")
-	}
 	st, _ = db.Stats(ref)
 	if !st.Min.Equal(num(1800)) {
 		t.Error("expected refreshed stats after insert")
 	}
-	db.InvalidateStats()
-	st, _ = db.Stats(ref)
-	if !st.Min.Equal(num(1800)) {
-		t.Error("expected refreshed stats")
-	}
 	if _, err := db.Stats(sqlir.ColumnRef{Table: "nope", Column: "x"}); err == nil {
 		t.Error("missing table should error")
 	}
+	// A frozen snapshot keeps its own permanent memo at the pinned state.
+	snap := db.Snapshot()
+	sst, err := snap.Stats(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MustInsert(num(3), text("C"), num(1700), num(5))
+	sst2, _ := snap.Stats(ref)
+	if !sst2.Min.Equal(sst.Min) || !sst2.Min.Equal(num(1800)) {
+		t.Errorf("snapshot stats moved after insert: %v -> %v", sst.Min, sst2.Min)
+	}
+	st, _ = db.Stats(ref)
+	if !st.Min.Equal(num(1700)) {
+		t.Error("live stats should see the third insert")
+	}
 }
 
-func TestTableGeneration(t *testing.T) {
+func TestEpochPublication(t *testing.T) {
 	s := movieSchema()
+	db := NewDatabase("movies", s)
 	m := s.Table("movie")
-	if m.Generation() != 0 {
-		t.Errorf("fresh table generation = %d", m.Generation())
+	if db.Epoch() != 0 {
+		t.Errorf("fresh database epoch = %d", db.Epoch())
 	}
 	m.MustInsert(num(1), text("A"), num(1990), num(5))
 	m.MustInsert(num(2), text("B"), num(1991), num(6))
-	if m.Generation() != 2 {
-		t.Errorf("generation after 2 inserts = %d", m.Generation())
+	snap := db.Snapshot()
+	if db.Epoch() != 1 || snap.Epoch() != 1 {
+		t.Errorf("first snapshot epoch = %d/%d, want 1", db.Epoch(), snap.Epoch())
 	}
-	// Failed inserts do not count as data changes.
+	if !snap.Frozen() || db.Frozen() {
+		t.Error("snapshot should be frozen, live database should not")
+	}
+	// Snapshots of an unchanged database are the same frozen instance —
+	// that identity is what caches key by.
+	if db.Snapshot() != snap {
+		t.Error("unchanged database should memoize one snapshot per epoch")
+	}
+	// Failed inserts do not publish a new epoch.
 	if err := m.Insert(num(3)); err == nil {
 		t.Fatal("bad arity should error")
 	}
-	if m.Generation() != 2 {
-		t.Errorf("generation after failed insert = %d", m.Generation())
+	if db.Publish() != 1 {
+		t.Errorf("epoch after failed insert = %d, want 1", db.Epoch())
+	}
+	// A mutation makes the next snapshot a new epoch; the old one is intact.
+	m.MustInsert(num(3), text("C"), num(1992), num(7))
+	snap2 := db.Snapshot()
+	if snap2.Epoch() != 2 {
+		t.Errorf("second snapshot epoch = %d, want 2", snap2.Epoch())
+	}
+	if got := snap.Table("movie").NumRows(); got != 2 {
+		t.Errorf("epoch 1 rows = %d, want 2", got)
+	}
+	if got := snap2.Table("movie").NumRows(); got != 3 {
+		t.Errorf("epoch 2 rows = %d, want 3", got)
+	}
+	// Tables untouched between epochs share one frozen table (and with it
+	// the lazily built indexes).
+	if snap.Table("actor") != snap2.Table("actor") {
+		t.Error("untouched table should be shared across epochs")
+	}
+	// Frozen tables and databases reject mutation.
+	if err := snap.Table("movie").Insert(num(9), text("Z"), num(2000), num(1)); err == nil {
+		t.Error("insert into frozen table should error")
+	}
+	if _, err := snap.Append("movie", nil); err == nil {
+		t.Error("append to frozen database should error")
+	}
+	// SnapshotAt resolves retained epochs and rejects unknown ones.
+	back, err := db.SnapshotAt(1)
+	if err != nil || back != snap {
+		t.Errorf("SnapshotAt(1) = %p (%v), want the memoized epoch-1 snapshot", back, err)
+	}
+	if _, err := db.SnapshotAt(99); err == nil {
+		t.Error("SnapshotAt of unpublished epoch should error")
 	}
 }
 

@@ -9,10 +9,13 @@ import (
 )
 
 // Verifiers created from one shared Cache reuse each other's column-wise
-// answers (no repeated database work), report only their own executor
-// counters, and see fresh memos after an Insert changes the database.
+// answers (no repeated database work) and report only their own executor
+// counters. The cache is bound to one epoch snapshot: an Insert into the
+// live database never evicts its memos — a verifier on the next epoch's
+// snapshot (with its own cache) sees the new row instead.
 func TestSharedCacheAcrossVerifiers(t *testing.T) {
-	db := movieDB()
+	live := movieDB()
+	db := live.Snapshot()
 	cache := NewCache(db)
 	sketch := &tsq.TSQ{
 		Types:  []sqlir.Type{sqlir.TypeText},
@@ -53,16 +56,29 @@ func TestSharedCacheAcrossVerifiers(t *testing.T) {
 		t.Errorf("v2 ColumnCache = %d, want 1", st.ColumnCache)
 	}
 
-	// Insert the missing title: a verifier created after the insert starts
-	// from fresh memos and accepts the query.
-	db.Table("movie").MustInsert(num(9), text("Interstellar"), num(2014), num(677))
+	// Insert the missing title into the live database: the pinned cache
+	// keeps serving the old epoch's answer from its memo, and a verifier on
+	// the next snapshot (with that snapshot's cache) accepts the query.
+	live.Table("movie").MustInsert(num(9), text("Interstellar"), num(2014), num(677))
 	v3 := NewWithCache(db, nil, sketch, nil, cache)
 	out, err = v3.Verify(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if out.OK || out.Stage != StageByColumn {
+		t.Fatalf("pinned v3 outcome = %+v, want by-column rejection at the old epoch", out)
+	}
+	if st := v3.Stats(); st.DBQueries != 0 {
+		t.Errorf("pinned v3 DBQueries = %d, want 0 (memo survived the insert)", st.DBQueries)
+	}
+	db2 := live.Snapshot()
+	v4 := NewWithCache(db2, nil, sketch, nil, NewCache(db2))
+	out, err = v4.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !out.OK {
-		t.Fatalf("v3 outcome = %+v, want pass after insert", out)
+		t.Fatalf("fresh-epoch v4 outcome = %+v, want pass after insert", out)
 	}
 }
 

@@ -114,11 +114,11 @@ func TestMemoKeyCollisionDetection(t *testing.T) {
 
 	bm := &boolMemo{}
 	key := memoKey{1, 2, 3}
-	if _, _, err := bm.do(key, func() string { return "question A" }, func() (bool, error) { return true, nil }); err != nil {
+	if _, _, err := bm.do(key, func() string { return "question A" }, nil, func() (bool, error) { return true, nil }); err != nil {
 		t.Fatal(err)
 	}
 	// Same key, same canonical string: fine.
-	if _, _, err := bm.do(key, func() string { return "question A" }, func() (bool, error) { return true, nil }); err != nil {
+	if _, _, err := bm.do(key, func() string { return "question A" }, nil, func() (bool, error) { return true, nil }); err != nil {
 		t.Fatal(err)
 	}
 	defer func() {
@@ -126,7 +126,7 @@ func TestMemoKeyCollisionDetection(t *testing.T) {
 			t.Error("expected panic on key collision with a different canonical string")
 		}
 	}()
-	bm.do(key, func() string { return "question B" }, func() (bool, error) { return true, nil })
+	bm.do(key, func() string { return "question B" }, nil, func() (bool, error) { return true, nil })
 }
 
 // End-to-end: a verifier workload with the collision cross-check enabled —

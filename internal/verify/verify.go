@@ -120,6 +120,12 @@ type boolEntry struct {
 	done bool
 	val  bool
 	err  error
+	deps []string // tables the answer reads; carries the entry across epochs
+	// mono marks an answer that is monotone under append-only ingest: the
+	// question is "does any row/value satisfy X" with no HAVING-style
+	// aggregate equality, so once true it stays true in every later epoch —
+	// a true entry carries across epochs even when its tables changed.
+	mono bool
 }
 
 // transient reports whether err reflects one request's fate (cancellation,
@@ -133,8 +139,12 @@ func transient(err error) bool {
 // do returns the memoized value for key, computing it at most once across
 // all callers. hit reports whether a previously computed entry answered the
 // call. sig renders the pre-hash canonical string; it is only invoked when
-// the debug collision cross-check is on.
-func (bm *boolMemo) do(key memoKey, sig func() string, f func() (bool, error)) (val, hit bool, err error) {
+// the debug collision cross-check is on. deps names the tables the answer
+// reads; it is only invoked when a freshly computed entry is stored, and
+// lets carryMemo move the entry across an epoch boundary when none of its
+// tables changed — or, for monotone questions that answered true, even when
+// they did.
+func (bm *boolMemo) do(key memoKey, sig func() string, deps func() (tables []string, monotone bool), f func() (bool, error)) (val, hit bool, err error) {
 	if memoKeyDebugEnabled() {
 		bm.checkKeyCollision(key, sig())
 	}
@@ -159,35 +169,115 @@ func (bm *boolMemo) do(key memoKey, sig func() string, f func() (bool, error)) (
 		return false, false, err
 	}
 	e.val, e.err, e.done = val, err, true
+	if deps != nil {
+		e.deps, e.mono = deps()
+	}
 	return e.val, false, e.err
 }
 
-// Cache is the per-database shared verification state: the prefix-sharing
-// join cache plus the column-wise and row-wise verification memos. Every
-// memoized answer is a function of the database contents alone (the sketch
-// and literals only choose which questions get asked), so one Cache is
-// safely shared by all verifiers — and therefore all requests — bound to
-// the same database. Insert bumps the database generation; the next
-// verifier created from the Cache starts from fresh memos, and the join
-// cache self-invalidates on its own entry points.
+// carryMemo builds the next epoch's memo from a previous epoch's, copying
+// every completed entry that provably still answers the same question:
+//
+//   - entries whose dependency tables resolve to the same frozen *Table in
+//     both snapshots — the answer is a pure function of those tables'
+//     contents, so it cannot differ; and
+//   - monotone entries that answered true — under append-only ingest an
+//     existing satisfying row never disappears, so the answer holds in
+//     every later epoch no matter what was appended.
+//
+// Everything else (false answers over changed tables, HAVING-style
+// aggregate checks, entries without recorded dependencies) restarts cold.
+func carryMemo(db, prevDB *storage.Database, prev *boolMemo) *boolMemo {
+	next := &boolMemo{}
+	prev.mu.Lock()
+	entries := make(map[memoKey]*boolEntry, len(prev.m))
+	for k, e := range prev.m {
+		entries[k] = e
+	}
+	prev.mu.Unlock()
+	for k, e := range entries {
+		e.mu.Lock()
+		done, val, err, deps, mono := e.done, e.val, e.err, e.deps, e.mono
+		e.mu.Unlock()
+		if !done || err != nil || len(deps) == 0 {
+			continue
+		}
+		carry := mono && val
+		if !carry {
+			carry = true
+			for _, name := range deps {
+				t := db.Table(name)
+				if t == nil || t != prevDB.Table(name) {
+					carry = false
+					break
+				}
+			}
+		}
+		if !carry {
+			continue
+		}
+		if next.m == nil {
+			next.m = map[memoKey]*boolEntry{}
+		}
+		next.m[k] = &boolEntry{done: true, val: val, deps: deps, mono: mono}
+	}
+	return next
+}
+
+// Cache is the per-database-epoch shared verification state: the
+// prefix-sharing join cache plus the column-wise and row-wise verification
+// memos. Every memoized answer is a function of the database contents alone
+// (the sketch and literals only choose which questions get asked), so one
+// Cache is safely shared by all verifiers — and therefore all requests —
+// bound to the same database. The cache assumes its database is an
+// immutable view (the service layer builds one Cache per frozen epoch
+// snapshot): memos are never invalidated, so a write to the live database
+// can never evict another reader's warm answers — readers that want the new
+// rows use a new snapshot's Cache.
 type Cache struct {
 	db    *storage.Database
 	joins *sqlexec.JoinCache
-
-	mu  sync.Mutex
-	gen int64
-	col *boolMemo
-	row *boolMemo
+	col   *boolMemo
+	row   *boolMemo
 }
 
-// NewCache builds the shared verification state for a database.
+// NewCache builds the shared verification state for a database (normally a
+// frozen epoch snapshot; see the type comment).
 func NewCache(db *storage.Database) *Cache {
 	return &Cache{
 		db:    db,
 		joins: sqlexec.NewJoinCache(db),
-		gen:   db.Generation(),
 		col:   &boolMemo{},
 		row:   &boolMemo{},
+	}
+}
+
+// NewCacheFrom builds the shared verification state for a new frozen epoch
+// snapshot, carrying the previous epoch's warm state forward wherever it
+// provably still holds: materialized joins over unchanged tables
+// (sqlexec.NewJoinCacheFrom) and memoized column-/row-wise answers whose
+// dependency tables are unchanged (carryMemo). An append touches one
+// table, so everything not reading that table stays warm across the epoch
+// boundary — a write costs readers only the changed table's state, never a
+// fully cold cache.
+func NewCacheFrom(db *storage.Database, prev *Cache) *Cache {
+	if prev == nil {
+		return NewCache(db)
+	}
+	return &Cache{
+		db:    db,
+		joins: sqlexec.NewJoinCacheFrom(db, prev.joins),
+		col:   carryMemo(db, prev.db, prev.col),
+		row:   carryMemo(db, prev.db, prev.row),
+	}
+}
+
+// WarmFrom rebuilds the joins the previous epoch's cache had but this one
+// could not carry forward (sqlexec.JoinCache.WarmFrom). Writers call it
+// after publishing an epoch so readers never see a cold shard.
+func (c *Cache) WarmFrom(ctx context.Context, prev *Cache) {
+	if prev != nil {
+		c.joins.WarmFrom(ctx, prev.joins)
 	}
 }
 
@@ -195,16 +285,9 @@ func NewCache(db *storage.Database) *Cache {
 // previews and its stats snapshots through it).
 func (c *Cache) Joins() *sqlexec.JoinCache { return c.joins }
 
-// handles returns the current memos, replacing them with fresh ones if the
-// database has changed since they were built.
+// handles returns the cache's memos. They live as long as the cache: the
+// database underneath is an immutable snapshot, so they never go stale.
 func (c *Cache) handles() (col, row *boolMemo) {
-	g := c.db.Generation()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if g != c.gen {
-		c.col, c.row = &boolMemo{}, &boolMemo{}
-		c.gen = g
-	}
 	return c.col, c.row
 }
 
@@ -441,7 +524,10 @@ func (v *Verifier) verifyByColumn(ctx context.Context, q *sqlir.Query) (Outcome,
 func (v *Verifier) columnCellCheck(ctx context.Context, agg sqlir.AggFunc, col sqlir.ColumnRef, cell tsq.Cell) (bool, error) {
 	key := columnCellKey(agg == sqlir.AggAvg, col, cell)
 	sig := func() string { return fmt.Sprintf("%v|%s|%s", agg == sqlir.AggAvg, col, cell) }
-	ok, hit, err := v.colCache.do(key, sig, func() (bool, error) {
+	// Both forms are monotone under append-only ingest: a matching value
+	// never disappears, and the AVG range check's [min, max] only widens.
+	deps := func() ([]string, bool) { return []string{col.Table}, true }
+	ok, hit, err := v.colCache.do(key, sig, deps, func() (bool, error) {
 		if agg == sqlir.AggAvg {
 			// The average lies within [min, max]: verification fails only
 			// if the cell cannot intersect that range.
@@ -614,7 +700,12 @@ func (v *Verifier) verifyByRow(ctx context.Context, q *sqlir.Query) (Outcome, er
 		// Sibling states (e.g. differing only in ORDER BY decisions) issue
 		// identical row checks; memoize by hashed query signature.
 		key := existsKey(eq)
-		ok, _, err := v.rowCache.do(key, func() string { return existsSig(eq) }, func() (bool, error) {
+		// Plain exists-over-join questions are monotone under append-only
+		// ingest; HAVING conditions are not (a group's aggregate can move
+		// off the checked value), so those entries never outlive their
+		// tables.
+		deps := func() ([]string, bool) { return existsDeps(eq), len(eq.Havings) == 0 }
+		ok, _, err := v.rowCache.do(key, func() string { return existsSig(eq) }, deps, func() (bool, error) {
 			v.countDBQuery()
 			return v.joins.ExistsCtx(ctx, eq)
 		})
@@ -626,6 +717,38 @@ func (v *Verifier) verifyByRow(ctx context.Context, q *sqlir.Query) (Outcome, er
 		}
 	}
 	return pass(), nil
+}
+
+// existsDeps names every table an exists query reads — the join path plus
+// any table a predicate, grouping column, or having condition references —
+// deduplicated, for the row memo's epoch carry-forward.
+func existsDeps(eq sqlexec.ExistsQuery) []string {
+	seen := map[string]bool{}
+	var deps []string
+	add := func(t string) {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			deps = append(deps, t)
+		}
+	}
+	if eq.From != nil {
+		for _, t := range eq.From.Tables {
+			add(t)
+		}
+	}
+	for _, p := range eq.Preds {
+		add(p.Col.Table)
+	}
+	for _, p := range eq.AndPreds {
+		add(p.Col.Table)
+	}
+	for _, g := range eq.GroupBy {
+		add(g.Table)
+	}
+	for _, h := range eq.Havings {
+		add(h.Col.Table)
+	}
+	return deps
 }
 
 // soundPredicates returns the subset of the partial query's WHERE clause
